@@ -1,0 +1,62 @@
+"""Shared fixtures for the figure benches.
+
+The paper's two workloads are simulated once per pytest session at
+full length (120 s, as in §3.1) on both paths; the per-figure benches
+time the decode/regeneration step against those cached runs and check
+the figure's shape, printing paper-vs-measured rows.  One bench times
+the full end-to-end simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    PATH_ETHERNET,
+    PATH_UMTS,
+    cbr,
+    run_characterization,
+    voip_g711,
+)
+
+#: One seed for the headline runs (repeatability is its own bench).
+SEED = 3
+DURATION = 120.0
+
+
+@pytest.fixture(scope="session")
+def voip_runs():
+    """Figures 1-3: the 72 kbit/s VoIP-like flow on both paths."""
+    return {
+        "umts": run_characterization(
+            voip_g711(duration=DURATION), path=PATH_UMTS, seed=SEED
+        ),
+        "ethernet": run_characterization(
+            voip_g711(duration=DURATION), path=PATH_ETHERNET, seed=SEED
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def saturation_runs():
+    """Figures 4-7: the 1 Mbit/s CBR flow on both paths."""
+    return {
+        "umts": run_characterization(
+            cbr(duration=DURATION), path=PATH_UMTS, seed=SEED
+        ),
+        "ethernet": run_characterization(
+            cbr(duration=DURATION), path=PATH_ETHERNET, seed=SEED
+        ),
+    }
+
+
+def print_figure(title: str, unit: str, scale: float, umts_series, eth_series) -> None:
+    """Print a figure's data as 10-second rows for both paths."""
+    print(f"\n=== {title} ===")
+    print(f"{'time':>6} {'UMTS-to-Ethernet':>18} {'Ethernet-to-Ethernet':>22}   [{unit}]")
+    t = 0.0
+    while t < DURATION:
+        u = umts_series.between(t, t + 10.0).mean() * scale
+        e = eth_series.between(t, t + 10.0).mean() * scale
+        print(f"{t:5.0f}s {u:18.2f} {e:22.2f}")
+        t += 10.0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Regenerate every figure's data as CSV, outside pytest.
+
+Runs the paper's two experiments on both paths and writes the series
+behind Figures 1-7 (plus the RAB grade timeline) into an output
+directory, one CSV per series per path, together with a summary file
+recording the shape checkpoints from EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/regenerate.py --out results [--duration 120] [--seed 3]
+
+The CSVs are two columns (time_s, value) and plot directly with
+gnuplot, matplotlib or a spreadsheet.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro import (
+    PATH_ETHERNET,
+    PATH_UMTS,
+    cbr,
+    run_characterization,
+    voip_g711,
+)
+from repro.analysis.export import export_experiment
+
+
+def regenerate(out_dir: pathlib.Path, duration: float, seed: int) -> int:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    lines = [f"regeneration run: duration={duration}s seed={seed}", ""]
+    runs = {}
+    for workload, factory in (("voip", voip_g711), ("sat", cbr)):
+        for path in (PATH_UMTS, PATH_ETHERNET):
+            print(f"running {workload} over {path} ({duration:.0f}s)...")
+            result = run_characterization(
+                factory(duration=duration), path=path, seed=seed
+            )
+            runs[(workload, path)] = result
+            written = export_experiment(
+                result, out_dir, prefix=f"{workload}_{path}_"
+            )
+            print(f"  wrote {len(written)} series")
+
+    figure_map = [
+        ("Figure 1 (VoIP bitrate)", "voip", "bitrate_kbps"),
+        ("Figure 2 (VoIP jitter)", "voip", "jitter_s"),
+        ("Figure 3 (VoIP RTT)", "voip", "rtt_s"),
+        ("Figure 4 (1Mbps bitrate)", "sat", "bitrate_kbps"),
+        ("Figure 5 (1Mbps jitter)", "sat", "jitter_s"),
+        ("Figure 6 (1Mbps loss)", "sat", "loss_pkt"),
+        ("Figure 7 (1Mbps RTT)", "sat", "rtt_s"),
+    ]
+    lines.append("figure -> files")
+    for title, workload, series in figure_map:
+        lines.append(
+            f"{title}: {workload}_umts_{series}.csv vs {workload}_ethernet_{series}.csv"
+        )
+    lines.append("")
+
+    voip_umts = runs[("voip", PATH_UMTS)].summary
+    voip_eth = runs[("voip", PATH_ETHERNET)].summary
+    sat_umts = runs[("sat", PATH_UMTS)]
+    lines.append("shape checkpoints (see EXPERIMENTS.md):")
+    lines.append(
+        f"  VoIP bitrate: UMTS {voip_umts.mean_bitrate_kbps:.1f} / "
+        f"eth {voip_eth.mean_bitrate_kbps:.1f} kbit/s (paper: both ~72)"
+    )
+    lines.append(
+        f"  VoIP loss: UMTS {voip_umts.packets_lost} / eth {voip_eth.packets_lost} "
+        "(paper: 0 and 0)"
+    )
+    lines.append(
+        f"  VoIP max RTT: {voip_umts.max_rtt * 1000:.0f} ms (paper: up to ~700 ms)"
+    )
+    bitrate = sat_umts.bitrate_kbps()
+    early = bitrate.between(5.0, min(45.0, duration * 0.4)).mean()
+    late = bitrate.between(duration * 0.6, duration - 2.0).mean()
+    lines.append(
+        f"  saturation bitrate: early {early:.0f} -> late {late:.0f} kbit/s "
+        "(paper: ~150 -> ~400)"
+    )
+    lines.append(
+        f"  saturation max RTT: {sat_umts.summary.max_rtt:.2f} s (paper: ~3 s)"
+    )
+    summary_path = out_dir / "summary.txt"
+    summary_path.write_text("\n".join(lines) + "\n")
+    print(f"\nsummary written to {summary_path}")
+    for line in lines:
+        print(line)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("results"))
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+    return regenerate(args.out, args.duration, args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

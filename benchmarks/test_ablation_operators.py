@@ -1,0 +1,61 @@
+"""Ablation — operator profiles (§2.1's two networks).
+
+The paper used two UMTS networks: a commercial operator and the
+Alcatel-Lucent private micro-cell.  The reproduction gives each a
+profile; this bench runs both workloads on both and checks the
+differences the profiles encode: the micro-cell upgrades the bearer
+within seconds, has a quieter radio path, and does not firewall
+inbound traffic.
+"""
+
+from repro import (
+    PATH_UMTS,
+    cbr,
+    commercial_operator,
+    private_microcell,
+    run_characterization,
+    voip_g711,
+)
+
+
+def run_pair(factory, seed=9):
+    voip = run_characterization(
+        voip_g711(duration=60.0), path=PATH_UMTS, seed=seed, operator_factory=factory
+    )
+    sat = run_characterization(
+        cbr(duration=120.0), path=PATH_UMTS, seed=seed, operator_factory=factory
+    )
+    return voip, sat
+
+
+def test_ablation_operator_profiles(benchmark):
+    commercial_voip, commercial_sat = benchmark.pedantic(
+        lambda: run_pair(commercial_operator), rounds=1, iterations=1
+    )
+    microcell_voip, microcell_sat = run_pair(private_microcell)
+
+    def upgrade_time(result):
+        origin = result.decoder.origin
+        changes = result.rab_history.as_pairs()[1:]
+        return changes[0][0] - origin if changes else None
+
+    commercial_upgrade = upgrade_time(commercial_sat)
+    microcell_upgrade = upgrade_time(microcell_sat)
+    print("\n=== Ablation: operator profiles ===")
+    print(f"  commercial : VoIP jitter {commercial_voip.summary.mean_jitter * 1000:6.2f} ms, "
+          f"upgrade at {commercial_upgrade:5.1f}s, "
+          f"inbound blocked={commercial_sat.scenario.operator.ggsn.block_inbound}")
+    print(f"  micro-cell : VoIP jitter {microcell_voip.summary.mean_jitter * 1000:6.2f} ms, "
+          f"upgrade at {microcell_upgrade:5.1f}s, "
+          f"inbound blocked={microcell_sat.scenario.operator.ggsn.block_inbound}")
+
+    # The commercial network is the lazy one (the ~50 s plateau).
+    assert commercial_upgrade is not None and 35.0 < commercial_upgrade < 65.0
+    # The micro-cell grants the upgrade within seconds.
+    assert microcell_upgrade is not None and microcell_upgrade < 15.0
+    # Quieter radio on the micro-cell.
+    assert microcell_voip.summary.mean_jitter < commercial_voip.summary.mean_jitter
+    assert microcell_voip.summary.mean_rtt < commercial_voip.summary.mean_rtt
+    # Firewalling differs as §2.2 implies (ssh unreachable commercially).
+    assert commercial_sat.scenario.operator.ggsn.block_inbound
+    assert not microcell_sat.scenario.operator.ggsn.block_inbound

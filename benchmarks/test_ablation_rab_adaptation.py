@@ -1,0 +1,55 @@
+"""Ablation — the RAB adaptation behind Figure 4.
+
+DESIGN.md calls the demand-driven bearer upgrade the load-bearing
+model for the saturation experiment.  This bench re-runs the 1 Mbit/s
+flow with adaptation disabled (the bearer stays at the initial
+144 kbit/s grade) and shows that the paper's "more than doubled after
+~50 s" effect disappears: the plateau persists for the whole run.
+"""
+
+from repro import PATH_UMTS, cbr, run_characterization
+from repro.umts.operator import commercial_operator
+from repro.umts.rab import RabConfig
+
+
+def frozen_operator(sim, streams):
+    return commercial_operator(
+        sim, streams, rab_config=RabConfig(adaptation_enabled=False)
+    )
+
+
+def test_ablation_rab_adaptation(benchmark):
+    frozen = benchmark.pedantic(
+        lambda: run_characterization(
+            cbr(duration=120.0),
+            path=PATH_UMTS,
+            seed=3,
+            operator_factory=frozen_operator,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    adaptive = run_characterization(cbr(duration=120.0), path=PATH_UMTS, seed=3)
+
+    frozen_series = frozen.bitrate_kbps()
+    adaptive_series = adaptive.bitrate_kbps()
+    rows = [
+        ("adaptation ON ", adaptive_series),
+        ("adaptation OFF", frozen_series),
+    ]
+    print("\n=== Ablation: RAB adaptation (bitrate, kbit/s) ===")
+    for label, series in rows:
+        early = series.between(5.0, 45.0).mean()
+        late = series.between(60.0, 115.0).mean()
+        print(f"  {label}: early {early:6.1f} -> late {late:6.1f}")
+
+    # Without adaptation the plateau persists: no doubling.
+    frozen_early = frozen_series.between(5.0, 45.0).mean()
+    frozen_late = frozen_series.between(60.0, 115.0).mean()
+    assert abs(frozen_late - frozen_early) < 0.2 * frozen_early
+    assert len(frozen.rab_history.as_pairs()) == 1  # no grade changes
+    # With adaptation the paper's effect is present.
+    adaptive_late = adaptive_series.between(60.0, 115.0).mean()
+    assert adaptive_late > 2.0 * frozen_late
+    # And the frozen run loses correspondingly more packets.
+    assert frozen.summary.loss_fraction > adaptive.summary.loss_fraction

@@ -1,0 +1,40 @@
+"""Operational benches: dial-up latency and simulator throughput.
+
+Not paper figures, but the numbers a testbed operator asks first: how
+long does ``umts start`` take (registration + PDP activation + PPP),
+and how fast does the whole simulation run relative to simulated time.
+"""
+
+from repro import OneLabScenario, PATH_UMTS, run_characterization, voip_g711
+
+
+def test_umts_start_latency(benchmark):
+    """Simulated seconds from `umts start` to ppp0 up, over seeds."""
+
+    def dial_once(seed=[100]):
+        seed[0] += 1
+        scenario = OneLabScenario(seed=seed[0])
+        umts = scenario.umts_command()
+        began = scenario.sim.now
+        result = umts.start_blocking()
+        assert result.ok
+        return scenario.sim.now - began
+
+    latency = benchmark(dial_once)
+    print(f"\nlast observed dial-up latency: {latency:.1f} simulated s "
+          "(registration search + PDP activation + LCP/IPCP)")
+    assert 3.0 < latency < 30.0
+
+
+def test_full_experiment_wall_time(benchmark):
+    """Wall-clock cost of one complete 120 s-simulated VoIP experiment."""
+    result = benchmark.pedantic(
+        lambda: run_characterization(
+            voip_g711(duration=120.0), path=PATH_UMTS, seed=77
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.summary.packets_received > 11000
+    print(f"\nsimulated {result.spec.duration:.0f} s of experiment "
+          f"({result.summary.packets_sent} probes + echoes) in the time above")

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the simulation core.
+
+The experiments schedule hundreds of thousands of events (every packet
+is a handful); these benches track the engine's raw event throughput
+and the cost of the per-packet fast path (socket → hooks → RPDB →
+channel), so performance regressions in the substrate show up here
+before they make the figure benches crawl.
+"""
+
+import pytest
+
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+
+
+def test_event_throughput(benchmark):
+    def schedule_and_drain():
+        sim = Simulator()
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        for i in range(20_000):
+            sim.schedule(i * 1e-6, bump)
+        sim.run()
+        return count[0]
+
+    dispatched = benchmark(schedule_and_drain)
+    assert dispatched == 20_000
+
+
+def test_process_switch_throughput(benchmark):
+    def ping_pong():
+        sim = Simulator()
+        hops = [0]
+
+        def runner():
+            for _ in range(5_000):
+                hops[0] += 1
+                yield 0.001
+
+        spawn(sim, runner())
+        sim.run()
+        return hops[0]
+
+    hops = benchmark(ping_pong)
+    assert hops == 5_000
+
+
+def test_packet_fast_path(benchmark):
+    sim = Simulator()
+    a = IPStack(sim, "a")
+    b = IPStack(sim, "b")
+    a_eth = a.add_interface(EthernetInterface("eth0"))
+    b_eth = b.add_interface(EthernetInterface("eth0"))
+    a.configure_interface(a_eth, "10.0.0.1", 24)
+    b.configure_interface(b_eth, "10.0.0.2", 24)
+    Link(sim, a_eth, b_eth, rate_bps=1e9, delay=0.0001)
+    server = b.socket()
+    server.bind(port=9)
+    received = [0]
+    server.on_receive = lambda *args: received.__setitem__(0, received[0] + 1)
+    client = a.socket()
+
+    def send_batch():
+        before = received[0]
+        for _ in range(100):
+            client.sendto("x", 100, "10.0.0.2", 9)
+        sim.run(until=sim.now + 1.0)
+        return received[0] - before
+
+    delivered = benchmark(send_batch)
+    assert delivered == 100

@@ -1,0 +1,44 @@
+"""Extension experiment — downlink characterization.
+
+The paper measures the uplink ("clearly saturates the up-link of the
+UMTS connection"); its introduction cites HSDPA rates of up to
+14 Mbit/s downstream vs 5.8 upstream.  This extension bench runs the
+same 1 Mbit/s flow *toward* the mobile node: on the downlink the flow
+fits (HSDPA-class bearer), confirming the asymmetry the paper leaves
+implicit — and exercising the reproduction's other steering rule (the
+mobile's receiver binds to the UMTS interface, so its traffic matches
+the source-address RPDB rule rather than the fwmark rule).
+"""
+
+from repro import PATH_UMTS, cbr, run_characterization
+from repro.testbed.experiment import DIRECTION_DOWNLINK
+
+
+def test_ext_downlink_asymmetry(benchmark):
+    downlink = benchmark.pedantic(
+        lambda: run_characterization(
+            cbr(duration=60.0, meter="owd"),
+            path=PATH_UMTS,
+            seed=3,
+            direction=DIRECTION_DOWNLINK,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    uplink = run_characterization(
+        cbr(duration=60.0, meter="owd"), path=PATH_UMTS, seed=3
+    )
+    d, u = downlink.summary, uplink.summary
+    print("\n=== Extension: 1 Mbit/s downlink vs uplink over UMTS ===")
+    print(f"  downlink: bitrate {d.mean_bitrate_kbps:7.1f} kbit/s, "
+          f"loss {d.loss_fraction * 100:5.1f}%, OWD mean {d.mean_owd * 1000:6.1f} ms")
+    print(f"  uplink  : bitrate {u.mean_bitrate_kbps:7.1f} kbit/s, "
+          f"loss {u.loss_fraction * 100:5.1f}%, OWD mean {u.mean_owd * 1000:6.1f} ms")
+
+    # The downlink carries the megabit; the uplink cannot.
+    assert d.mean_bitrate_kbps > 900.0
+    assert d.loss_fraction < 0.01
+    assert u.loss_fraction > 0.5
+    assert u.mean_bitrate_kbps < 450.0
+    # Downlink delay stays radio-dominated (no seconds-deep queue).
+    assert d.mean_owd < 0.5 * u.mean_owd

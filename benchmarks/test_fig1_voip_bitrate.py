@@ -1,0 +1,30 @@
+"""Figure 1 — Bitrate of the VoIP-like flow.
+
+Paper: "the bitrate of the UMTS connection is more fluctuating than in
+the Ethernet case even though, in both cases, the required value is
+achieved in average" (72 kbit/s); packet loss "was always equal to 0"
+for this experiment on both paths.
+"""
+
+from benchmarks.conftest import print_figure
+
+
+def test_fig1_voip_bitrate(benchmark, voip_runs):
+    umts, ethernet = voip_runs["umts"], voip_runs["ethernet"]
+    umts_series = benchmark(umts.bitrate_kbps)
+    eth_series = ethernet.bitrate_kbps()
+    print_figure("Figure 1: VoIP bitrate", "kbit/s", 1.0, umts_series, eth_series)
+
+    # Required value achieved in average on both paths.
+    assert abs(umts_series.mean() - 72.0) < 5.0
+    assert abs(eth_series.mean() - 72.0) < 2.0
+    # The UMTS series fluctuates visibly more.
+    assert umts_series.stdev() > 3.0 * eth_series.stdev()
+    # Zero loss on both paths (stated in §3.2.1).
+    assert umts.summary.packets_lost == 0
+    assert ethernet.summary.packets_lost == 0
+    print(
+        f"\nshape: mean UMTS {umts_series.mean():.1f} vs eth "
+        f"{eth_series.mean():.1f} kbit/s (paper: both ~72); "
+        f"stdev ratio {umts_series.stdev() / eth_series.stdev():.1f}x (paper: UMTS wiggles)"
+    )

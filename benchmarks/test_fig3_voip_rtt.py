@@ -1,0 +1,29 @@
+"""Figure 3 — RTT of the VoIP-like flow.
+
+Paper: "the average value is higher for the UMTS connection with
+respect to the Ethernet one.  Moreover [...] the RTT is more
+fluctuating on the wireless connection and it reaches values up to
+700 milliseconds."
+"""
+
+from benchmarks.conftest import print_figure
+
+
+def test_fig3_voip_rtt(benchmark, voip_runs):
+    umts, ethernet = voip_runs["umts"], voip_runs["ethernet"]
+    umts_series = benchmark(umts.rtt_series)
+    eth_series = ethernet.rtt_series()
+    print_figure("Figure 3: VoIP RTT", "ms", 1000.0, umts_series, eth_series)
+
+    # UMTS RTT far above the wired path's ~20 ms.
+    assert umts_series.mean() > 0.120
+    assert eth_series.mean() < 0.030
+    # Spikes in the hundreds of milliseconds, toward ~700 ms.
+    assert 0.3 < umts.summary.max_rtt < 1.2
+    # More fluctuating than the wired path.
+    assert umts_series.stdev() > 10.0 * eth_series.stdev()
+    print(
+        f"\nshape: UMTS RTT mean {umts_series.mean() * 1000:.0f} ms, "
+        f"max {umts.summary.max_rtt * 1000:.0f} ms (paper: up to ~700 ms); "
+        f"eth mean {eth_series.mean() * 1000:.1f} ms"
+    )

@@ -1,0 +1,39 @@
+"""Figure 4 — Bitrate of the 1 Mbit/s flow.
+
+Paper: "the bitrate of the UMTS reaches a maximum value of around
+400 Kbps [...] representative of the maximum capacity of the up-link";
+and "in the first 50 seconds the achieved bitrate is about 150 Kbps.
+After that time, instead, the bitrate is more than doubled.  This is
+due to some sort of adaptation algorithm happening inside the UMTS
+network."
+"""
+
+from benchmarks.conftest import print_figure
+
+
+def test_fig4_saturated_bitrate(benchmark, saturation_runs):
+    umts, ethernet = saturation_runs["umts"], saturation_runs["ethernet"]
+    umts_series = benchmark(umts.bitrate_kbps)
+    eth_series = ethernet.bitrate_kbps()
+    print_figure(
+        "Figure 4: 1 Mbit/s flow bitrate", "kbit/s", 1.0, umts_series, eth_series
+    )
+
+    early = umts_series.between(5.0, 45.0).mean()
+    late = umts_series.between(60.0, 115.0).mean()
+    # ~150 kbit/s plateau for the first ~50 s...
+    assert 120.0 < early < 180.0
+    # ...then "more than doubled", toward the ~400 kbit/s ceiling.
+    assert late > 2.0 * early
+    assert 320.0 < late < 450.0
+    # The adaptation event lands around t = 50 s.
+    origin = umts.decoder.origin
+    upgrade_times = [t - origin for t, _ in umts.rab_history.as_pairs()[1:]]
+    assert len(upgrade_times) == 1
+    assert 35.0 < upgrade_times[0] < 65.0
+    # The wired path carries the full offered megabit.
+    assert abs(eth_series.mean() - 1000.0) < 20.0
+    print(
+        f"\nshape: early {early:.0f} kbit/s (paper ~150), late {late:.0f} kbit/s "
+        f"(paper ~400), upgrade at t={upgrade_times[0]:.0f}s (paper ~50s)"
+    )

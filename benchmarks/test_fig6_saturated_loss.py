@@ -1,0 +1,36 @@
+"""Figure 6 — Loss of the 1 Mbit/s flow.
+
+Paper: the UMTS connection "is operating in very congested conditions
+in this case, and therefore all the QoS parameters are heavily
+affected" — the loss plot shows tens of packets lost per 200 ms window
+throughout, while the Ethernet path loses nothing.  After the bearer
+upgrade the per-window loss drops (more packets get through) but stays
+heavy: the offered load is still ~2.6x the upgraded uplink.
+"""
+
+from benchmarks.conftest import print_figure
+
+
+def test_fig6_saturated_loss(benchmark, saturation_runs):
+    umts, ethernet = saturation_runs["umts"], saturation_runs["ethernet"]
+    umts_series = benchmark(umts.loss_series)
+    eth_series = ethernet.loss_series()
+    print_figure(
+        "Figure 6: 1 Mbit/s flow loss", "pkt/200ms", 1.0, umts_series, eth_series
+    )
+
+    offered_per_window = 122 * 0.2  # ≈ 24.4 pkt / 200 ms
+    early = umts_series.between(5.0, 45.0).mean()
+    late = umts_series.between(60.0, 115.0).mean()
+    # Early phase: ~20 of ~24 offered packets lost per window.
+    assert 18.0 < early < offered_per_window
+    # After the upgrade, loss decreases but stays heavy.
+    assert 10.0 < late < early
+    # The Ethernet path loses nothing.
+    assert sum(eth_series.values) == 0
+    assert umts.summary.loss_fraction > 0.6
+    print(
+        f"\nshape: loss/window early {early:.1f}, late {late:.1f} "
+        f"of {offered_per_window:.1f} offered (paper: heavy loss throughout); "
+        f"eth total {sum(eth_series.values):.0f}"
+    )

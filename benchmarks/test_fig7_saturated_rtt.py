@@ -1,0 +1,34 @@
+"""Figure 7 — RTT of the 1 Mbit/s flow.
+
+Paper: "this is even more confirmed by the values of the RTT which can
+be as large as 3 seconds"; like the other parameters, the RTT improves
+after the first ~50 seconds when the bearer upgrade drains the RLC
+queue faster.
+"""
+
+from benchmarks.conftest import print_figure
+
+
+def test_fig7_saturated_rtt(benchmark, saturation_runs):
+    umts, ethernet = saturation_runs["umts"], saturation_runs["ethernet"]
+    umts_series = benchmark(umts.rtt_series)
+    eth_series = ethernet.rtt_series()
+    print_figure(
+        "Figure 7: 1 Mbit/s flow RTT", "ms", 1000.0, umts_series, eth_series
+    )
+
+    # RTT driven by RLC queueing: seconds, peaking toward ~3 s.
+    assert 2.0 < umts.summary.max_rtt < 4.0
+    early = umts_series.between(5.0, 45.0).mean()
+    late = umts_series.between(60.0, 115.0).mean()
+    # The early phase rides near the buffer's worst case...
+    assert early > 2.0
+    # ...and the upgrade more than halves the queueing delay.
+    assert late < 0.6 * early
+    # The wired path is unaffected by the offered load.
+    assert eth_series.mean() < 0.030
+    print(
+        f"\nshape: UMTS RTT early {early:.2f}s, late {late:.2f}s, "
+        f"max {umts.summary.max_rtt:.2f}s (paper: up to ~3 s); "
+        f"eth {eth_series.mean() * 1000:.1f} ms"
+    )

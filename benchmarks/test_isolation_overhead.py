@@ -1,0 +1,69 @@
+"""Cost of the §2.3 isolation machinery.
+
+Not a paper figure, but the design section's implied question: what do
+the extra netfilter rules and RPDB lookups cost per packet, and does
+isolation actually hold under adversarial load?  The bench measures
+the node's local-output path with the full UMTS rule set installed and
+a sweep of registered destinations, and asserts the drop rule catches
+every intruder packet.
+"""
+
+import pytest
+
+from repro.core.isolation import IsolationManager
+from repro.net.interface import EthernetInterface, PPPInterface
+from repro.net.packet import Packet
+from repro.net.stack import IPStack
+from repro.netfilter.chains import HOOK_OUTPUT
+from repro.sim.engine import Simulator
+
+
+def build_stack(destinations):
+    sim = Simulator()
+    stack = IPStack(sim, "node")
+    eth = stack.add_interface(EthernetInterface("eth0"))
+    stack.configure_interface(eth, "143.225.229.100", 24)
+    stack.ip.route_add("default", "eth0", via="143.225.229.1")
+    ppp = stack.add_interface(PPPInterface("ppp0"))
+    ppp.configure_p2p("10.199.3.7", "10.199.0.1")
+    iso = IsolationManager(stack)
+    iso.install(510, "10.199.3.7")
+    for i in range(destinations):
+        iso.add_destination(f"138.96.{i // 250}.{i % 250 + 1}")
+    return stack
+
+
+@pytest.mark.parametrize("destinations", [1, 10, 100])
+def test_output_path_with_rules(benchmark, destinations):
+    stack = build_stack(destinations)
+
+    def classify_one_packet():
+        packet = Packet("138.96.0.1", xid=510, size=90)
+        stack.netfilter.run_chain("mangle", HOOK_OUTPUT, packet, now=0.0)
+        route = stack.rpdb.lookup(packet.dst, mark=packet.mark)
+        return route
+
+    route = benchmark(classify_one_packet)
+    assert route.dev == "ppp0"
+    print(f"\nmangle/OUTPUT traversal + RPDB lookup with "
+          f"{destinations} destination rules")
+
+
+def test_drop_rule_catches_all_intruders(benchmark):
+    stack = build_stack(1)
+    drop_rule = stack.netfilter.table("filter").chain("OUTPUT").rules[0]
+
+    def adversarial_burst():
+        caught = 0
+        for xid in (0, 100, 600, 666):
+            packet = Packet("10.199.0.1", xid=xid, size=100)
+            ok = stack.netfilter.run_chain(
+                "filter", HOOK_OUTPUT, packet, out_iface="ppp0", now=0.0
+            )
+            if not ok:
+                caught += 1
+        return caught
+
+    caught = benchmark(adversarial_burst)
+    assert caught == 4  # every non-510 context is dropped
+    assert drop_rule.packets >= 4

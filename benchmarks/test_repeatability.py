@@ -1,0 +1,71 @@
+"""§3.1's repeatability protocol.
+
+Paper: "each measurement experiment was executed 20 times and very
+similar results were obtained."  We run 20 independent repetitions of
+the VoIP experiment (and 8 of the heavier saturation experiment) with
+fresh seeds and check the dispersion of the summary statistics: the
+means must cluster tightly while the stochastic radio still varies
+between runs.
+"""
+
+import math
+
+import pytest
+
+from repro import PATH_UMTS, cbr, run_repetitions, voip_g711
+
+
+def relative_spread(values):
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(var) / mean if mean else math.inf
+
+
+def test_voip_20_repetitions(benchmark):
+    summaries = benchmark.pedantic(
+        lambda: run_repetitions(
+            lambda: voip_g711(duration=30.0),
+            path=PATH_UMTS,
+            repetitions=20,
+            base_seed=1000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(summaries) == 20
+    bitrates = [s.mean_bitrate_kbps for s in summaries]
+    rtts = [s.mean_rtt for s in summaries]
+    print("\n=== VoIP over UMTS, 20 repetitions ===")
+    from repro.analysis.aggregate import aggregate_report
+
+    for line in aggregate_report(summaries):
+        print(line)
+    # "Very similar results": tight dispersion of the run means.
+    assert relative_spread(bitrates) < 0.02
+    assert relative_spread(rtts) < 0.15
+    assert all(s.packets_lost == 0 for s in summaries)
+    # But not byte-identical: different seeds explore different noise.
+    assert len(set(rtts)) > 1
+
+
+def test_saturation_repetitions(benchmark):
+    summaries = benchmark.pedantic(
+        lambda: run_repetitions(
+            lambda: cbr(duration=120.0),
+            path=PATH_UMTS,
+            repetitions=8,
+            base_seed=2000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    losses = [s.loss_fraction for s in summaries]
+    bitrates = [s.mean_bitrate_kbps for s in summaries]
+    print("\n=== 1 Mbit/s over UMTS, 8 repetitions ===")
+    print(f"loss:    {min(losses) * 100:.1f}% .. {max(losses) * 100:.1f}%")
+    print(f"bitrate: {min(bitrates):.0f} .. {max(bitrates):.0f} kbit/s")
+    assert relative_spread(losses) < 0.05
+    assert relative_spread(bitrates) < 0.10
+    # Every repetition shows the adaptation: heavy loss, ceiling bitrate.
+    assert all(s.loss_fraction > 0.6 for s in summaries)
+    assert all(2.0 < s.max_rtt < 4.0 for s in summaries)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""VoIP under cross-traffic on the UMTS uplink (D-ITG script mode).
+
+A study the extended testbed makes possible beyond the paper's two
+single-flow experiments: how much background traffic can share the
+UMTS connection with a VoIP call before the call degrades?  Uses
+D-ITG's script mode — several flows defined in ITGSend flag syntax —
+to run the paper's 72 kbit/s VoIP flow together with increasing levels
+of background CBR on the same connection, and reports the VoIP flow's
+jitter, RTT and loss at each level.
+
+Run with::
+
+    python examples/background_traffic_study.py [duration_seconds]
+"""
+
+import sys
+
+from repro import OneLabScenario
+from repro.traffic.decoder import ItgDecoder
+from repro.traffic.receiver import ItgReceiver
+from repro.traffic.script import ItgScriptRunner
+
+BACKGROUND_LEVELS_KBPS = [0, 32, 64, 128]
+
+
+def run_level(background_kbps: float, duration: float, seed: int):
+    """One run: VoIP + background CBR over the same UMTS connection."""
+    scenario = OneLabScenario(seed=seed)
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    assert umts.add_destination_blocking(scenario.inria_addr).ok
+
+    voip_receiver = ItgReceiver(scenario.sim, scenario.inria_sliver.socket(), port=8999)
+    ItgReceiver(scenario.sim, scenario.inria_sliver.socket(), port=9001)
+
+    script = (
+        f"-a {scenario.inria_addr} -rp 8999 -C 100 -c 90 "
+        f"-t {duration * 1000:.0f} -m rttm\n"
+    )
+    if background_kbps > 0:
+        pps = background_kbps * 1000 / (512 * 8)
+        script += (
+            f"-a {scenario.inria_addr} -rp 9001 -E {pps:.2f} -c 512 "
+            f"-t {duration * 1000:.0f}\n"
+        )
+    runner = ItgScriptRunner(
+        scenario.sim, scenario.napoli_sliver.socket, scenario.streams, script
+    )
+    runner.start()
+    scenario.sim.run(until=scenario.sim.now + duration + 15.0)
+    umts.stop_blocking()
+
+    voip_sender = runner.senders[0]
+    decoder = ItgDecoder(voip_sender.log, voip_receiver.log_for(voip_sender.flow_id))
+    return decoder.summary()
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 60.0
+    print("VoIP (72 kbit/s) + background CBR sharing one UMTS uplink "
+          f"({duration:.0f} s per level)\n")
+    print(f"{'background':>12} {'voip jitter':>13} {'voip RTT':>11} "
+          f"{'voip loss':>11} {'verdict':>22}")
+    for level in BACKGROUND_LEVELS_KBPS:
+        summary = run_level(level, duration, seed=17)
+        loss_pct = summary.loss_fraction * 100
+        if summary.mean_rtt < 0.4 and loss_pct < 1.0:
+            verdict = "call OK"
+        elif loss_pct < 5.0:
+            verdict = "degraded"
+        else:
+            verdict = "unusable"
+        print(
+            f"{level:>9} kb {summary.mean_jitter * 1000:10.2f} ms "
+            f"{summary.mean_rtt * 1000:8.0f} ms {loss_pct:9.1f} % {verdict:>22}"
+        )
+    print("\nThe 144 kbit/s initial bearer carries the call plus a little")
+    print("noise; once VoIP + background approach the bearer rate, queueing")
+    print("drives RTT and loss up — until sustained demand eventually earns")
+    print("the 384 kbit/s upgrade (visible with longer durations).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Comparing UMTS networks, as the paper's design allows.
+
+"our main goal was not to integrate a specific UMTS network into
+PlanetLab, but rather to allow PlanetLab institutions to equip their
+nodes with such kind of connectivity using a Telecom Operator of
+choice.  In principle, this allows to perform experiments by using the
+UMTS connection provided by different networks and to compare the
+results."  (§2.1)
+
+This example does exactly that comparison across the paper's two
+networks — the commercial operator and the Alcatel-Lucent private
+micro-cell — running the same VoIP and saturation workloads on each
+and printing the operator-level differences: bearer adaptation speed,
+radio quietness, and inbound reachability.
+
+Run with::
+
+    python examples/multi_operator_comparison.py [duration_seconds]
+"""
+
+import sys
+
+from repro import (
+    PATH_UMTS,
+    cbr,
+    commercial_operator,
+    private_microcell,
+    run_characterization,
+    voip_g711,
+)
+
+OPERATORS = [
+    ("commercial", commercial_operator),
+    ("private micro-cell", private_microcell),
+]
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 90.0
+
+    print(f"{'':22}{'VoIP jitter':>14}{'VoIP RTT':>12}"
+          f"{'sat. early':>12}{'sat. late':>11}{'upgrade@':>10}{'inbound':>9}")
+    for label, factory in OPERATORS:
+        voip = run_characterization(
+            voip_g711(duration=duration),
+            path=PATH_UMTS,
+            seed=9,
+            operator_factory=factory,
+        )
+        sat = run_characterization(
+            cbr(duration=duration),
+            path=PATH_UMTS,
+            seed=9,
+            operator_factory=factory,
+        )
+        early = sat.bitrate_kbps().between(2.0, 20.0).mean()
+        late = sat.bitrate_kbps().between(duration - 30.0, duration - 5.0).mean()
+        origin = sat.decoder.origin
+        upgrades = [
+            t - origin for t, rate in sat.rab_history.as_pairs()[1:]
+        ]
+        upgrade_at = f"{upgrades[0]:.0f}s" if upgrades else "never"
+        inbound = "open" if not sat.scenario.operator.ggsn.block_inbound else "blocked"
+        print(
+            f"{label:22}"
+            f"{voip.summary.mean_jitter * 1000:11.2f} ms"
+            f"{voip.summary.mean_rtt * 1000:9.0f} ms"
+            f"{early:9.0f} kb"
+            f"{late:8.0f} kb"
+            f"{upgrade_at:>10}"
+            f"{inbound:>9}"
+        )
+
+    print("\nReading the table:")
+    print("  - the commercial network upgrades the uplink bearer lazily")
+    print("    (the paper's ~50 s plateau); the micro-cell grants it in seconds;")
+    print("  - the micro-cell's radio path is quieter (lower jitter/RTT);")
+    print("  - only the commercial operator firewalls inbound connections,")
+    print("    which is why PlanetLab keeps control traffic on Ethernet.")
+
+
+if __name__ == "__main__":
+    main()

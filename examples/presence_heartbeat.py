@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""An IMS-style presence service over the UMTS testbed.
+
+§2.1 motivates the integration with the applications spreading over
+UMTS networks: "The IP Multimedia Subsystem (IMS) [...] is triggering
+the development of new generations of network applications such as
+presence, conferencing and location-based services."
+
+This example builds a miniature presence service with the public API —
+the kind of experiment the extended testbed exists for:
+
+- a presence *server* runs on the wired INRIA node;
+- a mobile *presentity* inside the slice on the Napoli node registers
+  over the UMTS connection and sends periodic heartbeats;
+- a *watcher* (also at INRIA) subscribes and is notified when the
+  mobile's state changes.
+
+Mid-run the UMTS session drops (coverage loss); the server detects the
+missed heartbeats and marks the presentity offline — then the slice
+redials and presence recovers.  The run prints the heartbeat RTTs seen
+over UMTS and the offline-detection latency.
+
+Run with::
+
+    python examples/presence_heartbeat.py
+"""
+
+from repro import OneLabScenario
+from repro.sim.process import spawn
+
+HEARTBEAT_PERIOD = 5.0
+OFFLINE_AFTER = 12.0  # ~2.5 missed heartbeats
+SERVER_PORT = 5060
+
+
+class PresenceServer:
+    """Tracks presentity liveness; notifies watchers on transitions."""
+
+    def __init__(self, sim, socket, port=SERVER_PORT):
+        self.sim = sim
+        self.socket = socket
+        socket.bind(port=port)
+        socket.on_receive = self._on_message
+        self.last_seen = {}
+        self.online = {}
+        self.watchers = []
+        self.transitions = []
+        self._sweep()
+
+    def _on_message(self, payload, src, sport, packet):
+        kind, name = payload
+        if kind in ("REGISTER", "HEARTBEAT"):
+            self.last_seen[name] = self.sim.now
+            if not self.online.get(name, False):
+                self._set_state(name, True)
+            # Ack so the presentity can measure heartbeat RTT.
+            self.socket.sendto(("ACK", name), 16, src, sport)
+
+    def _set_state(self, name, is_online):
+        self.online[name] = is_online
+        self.transitions.append((self.sim.now, name, is_online))
+        for watcher in self.watchers:
+            watcher(self.sim.now, name, is_online)
+
+    def _sweep(self):
+        for name, seen in list(self.last_seen.items()):
+            if self.online.get(name) and self.sim.now - seen > OFFLINE_AFTER:
+                self._set_state(name, False)
+        self.sim.schedule(1.0, self._sweep)
+
+
+class Presentity:
+    """The mobile client: registers, then heartbeats forever.
+
+    Binds to the UMTS interface and address (the paper's "explicitly
+    bind to the UMTS interface" usage), so its traffic rides the
+    source-address rule — and visibly fails while the connection is
+    down instead of silently falling back to the wired path.
+    """
+
+    def __init__(self, sim, sliver, name, server_addr, mobile_addr):
+        self.sim = sim
+        self.sliver = sliver
+        self.name = name
+        self.server_addr = server_addr
+        self.send_failures = 0
+        self.rtts = []
+        self._pending = {}
+        self.socket = None
+        self.rebind(mobile_addr)
+        spawn(sim, self._run(), name=f"presentity:{name}")
+
+    def rebind(self, mobile_addr):
+        """(Re)bind to the current UMTS address, as a real app would
+        after a redial handed out a fresh address."""
+        if self.socket is not None:
+            self.socket.close()
+        from repro.net.addressing import ip
+
+        self.socket = self.sliver.socket()
+        self.socket.bind(address=ip(mobile_addr))
+        self.socket.bind_to_device("ppp0")
+        self.socket.on_receive = self._on_ack
+
+    def _run(self):
+        self._send("REGISTER")
+        while True:
+            yield HEARTBEAT_PERIOD
+            self._send("HEARTBEAT")
+
+    def _send(self, kind):
+        from repro.net.errors import NetworkError
+
+        try:
+            self.socket.sendto((kind, self.name), 64, self.server_addr, SERVER_PORT)
+            self._pending[kind] = self.sim.now
+        except NetworkError:
+            self.send_failures += 1  # no route while the connection is down
+
+    def _on_ack(self, payload, src, sport, packet):
+        kind, name = payload
+        sent = self._pending.pop("HEARTBEAT", self._pending.pop("REGISTER", None))
+        if sent is not None:
+            self.rtts.append(self.sim.now - sent)
+
+
+def main() -> None:
+    scenario = OneLabScenario(seed=13)
+    sim = scenario.sim
+
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    assert umts.add_destination_blocking(scenario.inria_addr).ok
+    print("UMTS connection up; presence service starting\n")
+
+    server = PresenceServer(sim, scenario.inria_sliver.socket())
+    events = []
+    server.watchers.append(
+        lambda t, name, online: events.append(
+            f"  t={t:7.1f}s  {name} -> {'ONLINE' if online else 'OFFLINE'}"
+        )
+    )
+    presentity = Presentity(
+        sim,
+        scenario.napoli_sliver,
+        "alice@unina",
+        scenario.inria_addr,
+        scenario.umts_address(),
+    )
+
+    # 60 s of normal operation.
+    sim.run(until=sim.now + 60.0)
+    # Coverage loss: the operator drops the session.
+    drop_time = sim.now
+    print(f"t={drop_time:.1f}s: UMTS session dropped (coverage loss)")
+    scenario.operator.drop_call(scenario.operator.calls[0], "coverage loss")
+    sim.run(until=sim.now + 30.0)
+    # The slice redials.
+    result = umts.start_blocking()
+    print(f"t={sim.now:.1f}s: redial -> exit {result.code} "
+          f"(new address {scenario.umts_address()})")
+    presentity.rebind(scenario.umts_address())
+    sim.run(until=sim.now + 30.0)
+
+    print("\nWatcher notifications:")
+    for line in events:
+        print(line)
+
+    offline_events = [t for t, _, online in server.transitions if not online]
+    if offline_events:
+        print(f"\nOffline detected {offline_events[0] - drop_time:.1f}s after the drop "
+              f"(threshold {OFFLINE_AFTER:.0f}s)")
+    rtts_ms = [r * 1000 for r in presentity.rtts]
+    print(f"Heartbeat RTT over UMTS: mean {sum(rtts_ms) / len(rtts_ms):.0f} ms, "
+          f"max {max(rtts_ms):.0f} ms over {len(rtts_ms)} acks")
+    print(f"Heartbeats lost to the outage: {presentity.send_failures}")
+
+    umts.stop_blocking()
+
+
+if __name__ == "__main__":
+    main()

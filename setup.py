@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517/660 editable
+installs cannot build; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

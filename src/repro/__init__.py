@@ -1,0 +1,58 @@
+"""repro — "Providing UMTS connectivity to PlanetLab nodes", reproduced.
+
+A full simulation of the OneLab UMTS/PlanetLab integration (Botta,
+Canonico, Di Stasi, Pescapé, Ventre; ROADS @ CoNEXT 2008): the
+PlanetLab node (VServer slices, vsys, VNET+), the iproute2/iptables
+data plane, the 3G modems and dial tools, PPP, the UMTS radio access
+and core network, a D-ITG-style measurement suite, and — on top — the
+paper's ``umts`` command.
+
+Quick start::
+
+    from repro import OneLabScenario, run_characterization, voip_g711
+
+    result = run_characterization(voip_g711(duration=30.0), path="umts")
+    print(result.summary)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro.core import UmtsCommand
+from repro.sim import RandomStreams, Simulator
+from repro.testbed import (
+    PATH_ETHERNET,
+    PATH_UMTS,
+    ExperimentResult,
+    Internet,
+    OneLabScenario,
+    PlanetLabNode,
+    run_characterization,
+    run_repetitions,
+)
+from repro.traffic import ItgDecoder, ItgReceiver, ItgSender, cbr, voip_g711
+from repro.umts import commercial_operator, private_microcell
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "Internet",
+    "ItgDecoder",
+    "ItgReceiver",
+    "ItgSender",
+    "OneLabScenario",
+    "PATH_ETHERNET",
+    "PATH_UMTS",
+    "PlanetLabNode",
+    "RandomStreams",
+    "Simulator",
+    "UmtsCommand",
+    "__version__",
+    "cbr",
+    "commercial_operator",
+    "private_microcell",
+    "run_characterization",
+    "run_repetitions",
+    "voip_g711",
+]

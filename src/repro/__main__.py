@@ -1,0 +1,104 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Three commands, mirroring the paper's narrative:
+
+- ``demo`` — bring the UMTS connection up on the simulated PlanetLab
+  node, show the ``umts`` command output, send one packet each way;
+- ``voip`` — the Figures 1-3 experiment (72 kbit/s VoIP-like flow),
+  printed as a summary table for both paths;
+- ``saturation`` — the Figures 4-7 experiment (1 Mbit/s flow) with the
+  RAB adaptation timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    OneLabScenario,
+    PATH_ETHERNET,
+    PATH_UMTS,
+    cbr,
+    run_characterization,
+    voip_g711,
+)
+from repro.analysis.compare import compare_paths, report_lines
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = OneLabScenario(seed=args.seed)
+    umts = scenario.umts_command()
+    result = umts.start_blocking()
+    for line in result.lines:
+        print(line)
+    if not result.ok:
+        return 1
+    umts.add_destination_blocking(scenario.inria_addr)
+    for line in umts.status_blocking().lines:
+        print(line)
+    umts.stop_blocking()
+    print("umts stopped; demo complete "
+          f"({scenario.sim.now:.1f} simulated seconds)")
+    return 0
+
+
+def _run_both(spec_factory, seed: int):
+    umts = run_characterization(spec_factory(), path=PATH_UMTS, seed=seed)
+    ethernet = run_characterization(spec_factory(), path=PATH_ETHERNET, seed=seed)
+    return umts, ethernet
+
+
+def _print_summaries(umts, ethernet) -> None:
+    for label, result in (("UMTS-to-Ethernet", umts), ("Ethernet-to-Ethernet", ethernet)):
+        s = result.summary
+        print(f"{label}:")
+        print(f"  bitrate {s.mean_bitrate_kbps:8.1f} kbit/s   "
+              f"loss {s.loss_fraction * 100:5.1f}%   "
+              f"jitter {s.mean_jitter * 1000:7.2f} ms   "
+              f"RTT {s.mean_rtt * 1000:7.1f} ms (max {s.max_rtt * 1000:.0f})")
+    for line in report_lines(compare_paths(umts, ethernet, "UMTS", "Ethernet")):
+        print(line)
+
+
+def _cmd_voip(args: argparse.Namespace) -> int:
+    print(f"VoIP-like flow, {args.duration:.0f}s per path (Figures 1-3)...")
+    umts, ethernet = _run_both(lambda: voip_g711(duration=args.duration), args.seed)
+    _print_summaries(umts, ethernet)
+    return 0
+
+
+def _cmd_saturation(args: argparse.Namespace) -> int:
+    print(f"1 Mbit/s flow, {args.duration:.0f}s per path (Figures 4-7)...")
+    umts, ethernet = _run_both(lambda: cbr(duration=args.duration), args.seed)
+    origin = umts.decoder.origin
+    print("RAB grades:", " -> ".join(
+        f"{rate / 1000:.0f}k@{max(0.0, t - origin):.0f}s"
+        for t, rate in umts.rab_history.as_pairs()
+    ))
+    _print_summaries(umts, ethernet)
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="UMTS connectivity for PlanetLab nodes, in simulation.",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="umts start/status/stop walk-through")
+    for name, help_text in (
+        ("voip", "the VoIP characterization (Figures 1-3)"),
+        ("saturation", "the 1 Mbit/s saturation experiment (Figures 4-7)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--duration", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    handlers = {"demo": _cmd_demo, "voip": _cmd_voip, "saturation": _cmd_saturation}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Aggregating repetition summaries.
+
+§3.1 runs every experiment 20 times; this turns the resulting list of
+:class:`~repro.traffic.decoder.FlowSummary` objects into per-metric
+mean / spread / 95% CI rows — what a paper's "mean ± CI over N runs"
+table reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.analysis.stats import confidence_interval_95, mean, stdev
+
+#: FlowSummary fields worth aggregating across repetitions.
+AGGREGATED_METRICS = [
+    "mean_bitrate_kbps",
+    "mean_jitter",
+    "max_jitter",
+    "mean_rtt",
+    "max_rtt",
+    "mean_owd",
+    "loss_fraction",
+]
+
+
+class MetricAggregate(NamedTuple):
+    """One metric across N repetitions."""
+
+    metric: str
+    runs: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+
+def aggregate_summaries(summaries: Sequence) -> Dict[str, MetricAggregate]:
+    """Aggregate repetition summaries metric by metric."""
+    if not summaries:
+        raise ValueError("no summaries to aggregate")
+    out: Dict[str, MetricAggregate] = {}
+    for metric in AGGREGATED_METRICS:
+        values = [getattr(summary, metric) for summary in summaries]
+        finite = [v for v in values if v == v]
+        low, high = confidence_interval_95(values)
+        out[metric] = MetricAggregate(
+            metric=metric,
+            runs=len(summaries),
+            mean=mean(values),
+            stdev=stdev(values),
+            ci_low=low,
+            ci_high=high,
+            minimum=min(finite) if finite else float("nan"),
+            maximum=max(finite) if finite else float("nan"),
+        )
+    return out
+
+
+def aggregate_report(summaries: Sequence) -> List[str]:
+    """Printable mean ± CI rows for every aggregated metric."""
+    aggregates = aggregate_summaries(summaries)
+    lines = [f"{'metric':22} {'mean':>12} {'95% CI':>26} {'min..max':>24}"]
+    for metric, agg in aggregates.items():
+        lines.append(
+            f"{metric:22} {agg.mean:12.6g} "
+            f"[{agg.ci_low:11.6g}, {agg.ci_high:11.6g}] "
+            f"{agg.minimum:11.6g}..{agg.maximum:<11.6g}"
+        )
+    return lines

@@ -1,0 +1,63 @@
+"""Side-by-side comparison of two experiment runs.
+
+The paper's figures always juxtapose the UMTS-to-Ethernet and the
+Ethernet-to-Ethernet path; :func:`compare_paths` does the same over two
+:class:`~repro.testbed.experiment.ExperimentResult` objects and
+produces both the numbers and a printable report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple
+
+
+class PathComparison(NamedTuple):
+    """The per-metric contrast between two runs (a / b ratios)."""
+
+    label_a: str
+    label_b: str
+    bitrate_ratio: float
+    jitter_ratio: float
+    rtt_ratio: float
+    loss_a: int
+    loss_b: int
+    bitrate_fluctuation_ratio: float
+
+
+def _safe_ratio(a: float, b: float) -> float:
+    if b == 0 or b != b:
+        return math.inf if a else math.nan
+    return a / b
+
+
+def compare_paths(result_a, result_b, label_a: str = "a", label_b: str = "b") -> PathComparison:
+    """Contrast two :class:`ExperimentResult` runs metric by metric."""
+    summary_a, summary_b = result_a.summary, result_b.summary
+    return PathComparison(
+        label_a=label_a,
+        label_b=label_b,
+        bitrate_ratio=_safe_ratio(
+            summary_a.mean_bitrate_kbps, summary_b.mean_bitrate_kbps
+        ),
+        jitter_ratio=_safe_ratio(summary_a.mean_jitter, summary_b.mean_jitter),
+        rtt_ratio=_safe_ratio(summary_a.mean_rtt, summary_b.mean_rtt),
+        loss_a=summary_a.packets_lost,
+        loss_b=summary_b.packets_lost,
+        bitrate_fluctuation_ratio=_safe_ratio(
+            result_a.bitrate_kbps().stdev(), result_b.bitrate_kbps().stdev()
+        ),
+    )
+
+
+def report_lines(comparison: PathComparison) -> List[str]:
+    """A printable summary of a :class:`PathComparison`."""
+    a, b = comparison.label_a, comparison.label_b
+    return [
+        f"{a} vs {b}:",
+        f"  bitrate ratio       : {comparison.bitrate_ratio:6.2f}x",
+        f"  bitrate fluctuation : {comparison.bitrate_fluctuation_ratio:6.2f}x",
+        f"  jitter ratio        : {comparison.jitter_ratio:6.2f}x",
+        f"  RTT ratio           : {comparison.rtt_ratio:6.2f}x",
+        f"  loss                : {comparison.loss_a} vs {comparison.loss_b} packets",
+    ]

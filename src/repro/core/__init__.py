@@ -1,0 +1,53 @@
+"""The paper's contribution: UMTS connectivity under PlanetLab's rules.
+
+This package is the reproduction of §2 of the paper — the usage model
+and implementation that let an unprivileged PlanetLab slice control a
+UMTS interface:
+
+- :class:`InterfaceLock` — one slice at a time (§2.2);
+- :class:`UmtsConnectionManager` — comgt → wvdial → pppd orchestration;
+- :class:`IsolationManager` — the additional routing table, RPDB rules,
+  VNET+ mark rules and the ppp0 drop rule (§2.3);
+- :class:`UmtsBackend` — the vsys back-end tying those together;
+- :class:`UmtsCommand` — the slice-side ``umts`` front-end
+  (start / stop / status / add / del).
+"""
+
+from repro.core.backend import SCRIPT_NAME, USAGE, UmtsBackend
+from repro.core.connection import ConnectionState, UmtsConnectionManager
+from repro.core.errors import (
+    ConnectionStateError,
+    HardwareMissingError,
+    InterfaceLockedError,
+    NotOwnerError,
+    UmtsCommandError,
+)
+from repro.core.frontend import UmtsCommand
+from repro.core.isolation import (
+    PREF_FWMARK_RULE,
+    PREF_SRC_RULE,
+    UMTS_FWMARK,
+    UMTS_TABLE,
+    IsolationManager,
+)
+from repro.core.lock import InterfaceLock
+
+__all__ = [
+    "ConnectionState",
+    "ConnectionStateError",
+    "HardwareMissingError",
+    "InterfaceLock",
+    "InterfaceLockedError",
+    "IsolationManager",
+    "NotOwnerError",
+    "PREF_FWMARK_RULE",
+    "PREF_SRC_RULE",
+    "SCRIPT_NAME",
+    "UMTS_FWMARK",
+    "UMTS_TABLE",
+    "USAGE",
+    "UmtsBackend",
+    "UmtsCommand",
+    "UmtsCommandError",
+    "UmtsConnectionManager",
+]

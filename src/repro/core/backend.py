@@ -1,0 +1,149 @@
+"""The vsys back-end of the ``umts`` command.
+
+Runs in the root context of a PlanetLab node and implements the five
+operations §2.3 lists for the front-end:
+
+- ``start`` — check and lock the UMTS interface, set up the UMTS
+  connection, and enforce the routing rules;
+- ``stop`` — tear down the UMTS connection, unlock the interface, and
+  delete the routing rules;
+- ``status`` — check the status of the connection;
+- ``add <destination>`` — add a rule for this destination to be reached
+  through the UMTS connection;
+- ``del <destination>`` — delete the rule associated to this destination.
+
+The handler is registered with the node's vsys daemon under the script
+name ``umts``; slices listed in the ACL reach it through the FIFO
+pipes, never touching the privileged objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.core.connection import UmtsConnectionManager
+from repro.core.errors import UmtsCommandError
+from repro.core.isolation import IsolationManager
+from repro.core.lock import InterfaceLock
+from repro.sim.engine import Simulator
+
+USAGE = "usage: umts start | stop | status | add <destination> | del <destination>"
+
+#: vsys script name the front-end opens.
+SCRIPT_NAME = "umts"
+
+
+class UmtsBackend:
+    """Back-end state for one node's UMTS interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connection: UmtsConnectionManager,
+        isolation: IsolationManager,
+        resolve_xid: Callable[[str], int],
+        lock: InterfaceLock = None,
+    ):
+        self.sim = sim
+        self.connection = connection
+        self.isolation = isolation
+        self.resolve_xid = resolve_xid
+        self.lock = lock if lock is not None else InterfaceLock(connection.ifname)
+        self.events: List[Tuple[float, str]] = []
+        connection.went_down.wait(self._on_connection_down)
+
+    # -- vsys entry point ------------------------------------------------
+
+    def handler(self, slice_name: str, argv: List[str]):
+        """The vsys handler: dispatches one front-end request."""
+        if not argv:
+            return 1, [USAGE]
+        command, args = argv[0], argv[1:]
+        try:
+            if command == "start" and not args:
+                result = yield from self._start(slice_name)
+                return result
+            if command == "stop" and not args:
+                result = yield from self._stop(slice_name)
+                return result
+            if command == "status" and not args:
+                return self._status(slice_name)
+            if command == "add" and len(args) == 1:
+                return self._add(slice_name, args[0])
+            if command == "del" and len(args) == 1:
+                return self._del(slice_name, args[0])
+        except UmtsCommandError as exc:
+            return 1, [f"umts: {exc}"]
+        except ValueError as exc:
+            return 1, [f"umts: {exc}"]
+        return 1, [USAGE]
+
+    # -- operations ----------------------------------------------------------
+
+    def _start(self, slice_name: str):
+        self.lock.acquire(slice_name)
+        self._log(f"start: lock acquired by {slice_name}")
+        code, lines = yield from self.connection.connect()
+        if code != 0:
+            self.lock.release(slice_name)
+            self._log("start: connect failed, lock released")
+            return 1, lines
+        xid = self.resolve_xid(slice_name)
+        self.isolation.install(
+            xid,
+            self.connection.address(),
+            destinations=sorted(self.isolation.destinations),
+        )
+        self._log(f"start: connection up for {slice_name} (xid {xid})")
+        lines.append(f"umts: routing rules enforced for slice {slice_name}")
+        return 0, lines
+
+    def _stop(self, slice_name: str):
+        self.lock.require_owner(slice_name, "stop")
+        self.isolation.remove()
+        code, lines = yield from self.connection.disconnect()
+        self.lock.release(slice_name)
+        self._log(f"stop: connection down, lock released by {slice_name}")
+        lines.append("umts: rules deleted, interface unlocked")
+        return code, lines
+
+    def _status(self, slice_name: str) -> Tuple[int, List[str]]:
+        lines = list(self.connection.status_lines())
+        if self.lock.locked:
+            lines.append(f"locked by: {self.lock.holder}")
+        else:
+            lines.append("interface: unlocked")
+        if self.isolation.destinations:
+            lines.append(
+                "destinations: " + " ".join(sorted(self.isolation.destinations))
+            )
+        return 0, lines
+
+    def _add(self, slice_name: str, destination: str) -> Tuple[int, List[str]]:
+        self.lock.require_owner(slice_name, "add")
+        self.isolation.add_destination(destination)
+        self._log(f"add: {destination} for {slice_name}")
+        return 0, [f"umts: {destination} will be reached via the UMTS connection"]
+
+    def _del(self, slice_name: str, destination: str) -> Tuple[int, List[str]]:
+        self.lock.require_owner(slice_name, "del")
+        self.isolation.del_destination(destination)
+        self._log(f"del: {destination} for {slice_name}")
+        return 0, [f"umts: rule for {destination} deleted"]
+
+    # -- failure cleanup ------------------------------------------------------
+
+    def _on_connection_down(self, reason: str) -> None:
+        """Unexpected drops (carrier lost) must not leave stale rules."""
+        if reason == "umts stop":
+            return  # the _stop path already cleaned up
+        if self.isolation.active:
+            self.isolation.remove()
+            self._log(f"cleanup: rules removed after '{reason}'")
+        if self.lock.locked:
+            holder = self.lock.holder
+            self.lock.force_release()
+            self._log(f"cleanup: lock of {holder} force-released after '{reason}'")
+
+    def _log(self, message: str) -> None:
+        self.events.append((self.sim.now, message))

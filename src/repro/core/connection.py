@@ -1,0 +1,183 @@
+"""The UMTS connection manager: comgt → wvdial → pppd, and teardown.
+
+This is the privileged machinery ``umts start``/``umts stop`` drive.
+``connect()`` and ``disconnect()`` are generators so the vsys back-end
+can run them as simulation processes — registration, PDP activation
+and PPP negotiation all take simulated time, exactly like the real
+dial-up takes seconds of wall clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.modem.comgt import Comgt
+from repro.modem.device import Modem3G
+from repro.modem.wvdial import SerialPppTransport, Wvdial
+from repro.net.stack import IPStack
+from repro.ppp.daemon import Pppd
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+from repro.sim.rng import RandomStreams
+
+
+class ConnectionState(enum.Enum):
+    """Lifecycle of the dial-up connection."""
+
+    DOWN = "down"
+    REGISTERING = "registering"
+    DIALING = "dialing"
+    NEGOTIATING = "negotiating"
+    UP = "up"
+    STOPPING = "stopping"
+
+
+class UmtsConnectionManager:
+    """Owns the modem and the PPP session for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: IPStack,
+        modem: Modem3G,
+        apn: str,
+        streams: RandomStreams,
+        pin: Optional[str] = None,
+        ifname: str = "ppp0",
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.modem = modem
+        self.apn = apn
+        self.pin = pin
+        self.ifname = ifname
+        self.streams = streams
+        self.state = ConnectionState.DOWN
+        self.pppd: Optional[Pppd] = None
+        self.transport: Optional[SerialPppTransport] = None
+        self.connected_at: Optional[float] = None
+        self.connects = 0
+        self.disconnects = 0
+        self.carrier_losses = 0
+        #: fired with a reason when the connection drops for any cause.
+        self.went_down = Signal(sim, "umts.down")
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """True while ppp0 exists and IPCP is open."""
+        return self.state == ConnectionState.UP and self.pppd is not None and self.pppd.is_up
+
+    def address(self) -> Optional[str]:
+        """The operator-assigned address, while up."""
+        if self.is_up and self.pppd.iface is not None:
+            return str(self.pppd.iface.address)
+        return None
+
+    def dns_servers(self):
+        """The DNS servers the operator pushed via IPCP (while up)."""
+        if self.is_up:
+            return self.pppd.ipcp.dns_servers
+        return (None, None)
+
+    def uptime(self) -> Optional[float]:
+        """Seconds since the session reached the data phase."""
+        if self.connected_at is None or not self.is_up:
+            return None
+        return self.sim.now - self.connected_at
+
+    def status_lines(self) -> List[str]:
+        """What ``umts status`` prints."""
+        lines = [f"state: {self.state.value}"]
+        if self.is_up:
+            lines.append(f"interface: {self.ifname}")
+            lines.append(f"address: {self.address()}")
+            lines.append(f"uptime: {self.uptime():.1f}s")
+        return lines
+
+    # -- connect / disconnect ------------------------------------------------
+
+    def connect(self):
+        """Generator: bring the connection up.  Returns (code, lines)."""
+        if self.state != ConnectionState.DOWN:
+            return 1, [f"umts: connection is {self.state.value}, expected down"]
+        self.state = ConnectionState.REGISTERING
+        code, lines = yield from Comgt(self.modem.port, pin=self.pin).run()
+        if code != 0:
+            self.state = ConnectionState.DOWN
+            return 1, lines
+        self.state = ConnectionState.DIALING
+        dial_code, dial_lines = yield from Wvdial(self.modem.port, apn=self.apn).run()
+        lines.extend(dial_lines)
+        if dial_code != 0:
+            self.state = ConnectionState.DOWN
+            return 1, lines
+        self.state = ConnectionState.NEGOTIATING
+        self.transport = SerialPppTransport(
+            self.sim, self.modem.port, on_carrier_lost=self._carrier_lost
+        )
+        self.pppd = Pppd(
+            self.sim,
+            self.stack,
+            self.transport,
+            role="client",
+            ifname=self.ifname,
+            rng=self.streams.stream(f"ppp-magic.{self.connects}"),
+            request_dns=True,  # pppd's usepeerdns: take the operator's DNS
+        )
+        outcome = Signal(self.sim, "ppp-outcome")
+        self.pppd.up.wait(lambda iface: outcome.fire(("up", iface)))
+        self.pppd.failed.wait(lambda reason: outcome.fire(("failed", reason)))
+        self.pppd.start()
+        kind, value = yield outcome
+        if kind == "failed":
+            self.state = ConnectionState.DOWN
+            self._drop_transport()
+            lines.append(f"pppd: {value}")
+            return 1, lines
+        self.state = ConnectionState.UP
+        self.connected_at = self.sim.now
+        self.connects += 1
+        lines.append(f"pppd: {self.ifname} up, local address {value.address}")
+        return 0, lines
+
+    def disconnect(self):
+        """Generator: tear the connection down.  Returns (code, lines)."""
+        if self.state != ConnectionState.UP:
+            return 1, [f"umts: connection is {self.state.value}, expected up"]
+        self.state = ConnectionState.STOPPING
+        self.pppd.disconnect("umts stop")
+        self._drop_transport()
+        dialer = Wvdial(self.modem.port, apn=self.apn)
+        code, lines = yield from dialer.hangup()
+        # The modem hung up: the old pppd exits with the carrier.  This
+        # also silences its Terminate-Request retransmissions, which
+        # would otherwise leak into the next dial-up's serial stream.
+        self.pppd.carrier_lost("modem hangup")
+        self.pppd = None
+        self.state = ConnectionState.DOWN
+        self.connected_at = None
+        self.disconnects += 1
+        self.went_down.fire("umts stop")
+        return code, lines
+
+    # -- failure paths -----------------------------------------------------------
+
+    def _carrier_lost(self) -> None:
+        self.carrier_losses += 1
+        if self.pppd is not None:
+            self.pppd.carrier_lost("NO CARRIER")
+        self._drop_transport()
+        self.state = ConnectionState.DOWN
+        self.connected_at = None
+        self.went_down.fire("carrier lost")
+
+    def _drop_transport(self) -> None:
+        if self.transport is not None:
+            self.transport.stop()
+            self.transport = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UmtsConnectionManager {self.state.value} apn={self.apn!r}>"

@@ -1,0 +1,21 @@
+"""Errors raised by the umts control plane."""
+
+
+class UmtsCommandError(Exception):
+    """Base class for umts command failures."""
+
+
+class InterfaceLockedError(UmtsCommandError):
+    """Another slice currently holds the UMTS interface."""
+
+
+class NotOwnerError(UmtsCommandError):
+    """The calling slice does not hold the UMTS interface."""
+
+
+class ConnectionStateError(UmtsCommandError):
+    """The operation does not fit the connection's current state."""
+
+
+class HardwareMissingError(UmtsCommandError):
+    """The node has no UMTS card, or required kernel modules are absent."""

@@ -1,0 +1,74 @@
+"""The ``umts`` command front-end — what runs inside the slice.
+
+A thin wrapper over the slice's vsys connection: every method writes
+one request line into the FIFO pair and returns the back-end's result.
+Methods come in two flavours: the plain ones return a simulation
+:class:`~repro.sim.process.Process` (yield on it inside experiment
+processes), the ``*_blocking`` ones run the simulator until the call
+completes (for scripts and tests driving the simulation from outside).
+"""
+
+from __future__ import annotations
+
+from repro.core.backend import SCRIPT_NAME
+from repro.sim.process import Process
+from repro.vsys.daemon import VsysResult
+
+
+class UmtsCommand:
+    """The per-slice ``umts`` command."""
+
+    def __init__(self, sliver):
+        self.sliver = sliver
+        self._conn = sliver.vsys_open(SCRIPT_NAME)
+
+    # -- asynchronous (inside simulation processes) ----------------------
+
+    def start(self) -> Process:
+        """``umts start``: lock, dial, enforce rules."""
+        return self._conn.call(["start"])
+
+    def stop(self) -> Process:
+        """``umts stop``: tear down, delete rules, unlock."""
+        return self._conn.call(["stop"])
+
+    def status(self) -> Process:
+        """``umts status``: connection and lock state."""
+        return self._conn.call(["status"])
+
+    def add_destination(self, destination: str) -> Process:
+        """``umts add <destination>``."""
+        return self._conn.call(["add", destination])
+
+    def del_destination(self, destination: str) -> Process:
+        """``umts del <destination>``."""
+        return self._conn.call(["del", destination])
+
+    # -- blocking (driving the simulator from outside) ----------------------
+
+    def start_blocking(self) -> VsysResult:
+        """Run the simulator until ``umts start`` completes."""
+        return self._conn.call_blocking(["start"])
+
+    def stop_blocking(self) -> VsysResult:
+        """Run the simulator until ``umts stop`` completes."""
+        return self._conn.call_blocking(["stop"])
+
+    def status_blocking(self) -> VsysResult:
+        """Run the simulator until ``umts status`` completes."""
+        return self._conn.call_blocking(["status"])
+
+    def add_destination_blocking(self, destination: str) -> VsysResult:
+        """Run the simulator until ``umts add`` completes."""
+        return self._conn.call_blocking(["add", destination])
+
+    def del_destination_blocking(self, destination: str) -> VsysResult:
+        """Run the simulator until ``umts del`` completes."""
+        return self._conn.call_blocking(["del", destination])
+
+    def close(self) -> None:
+        """Close the vsys FIFO pair."""
+        self._conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UmtsCommand of slice {self.sliver.name!r}>"

@@ -1,0 +1,79 @@
+"""The UMTS interface lock — one slice at a time.
+
+§2.2 of the paper: "we decided to adopt a policy that allows only one
+experiment (i.e. slice) at a time to control and use the UMTS
+interface", because (i) the low bandwidth would make concurrent
+experiments interfere and (ii) realistic runs set the dial-up
+connection up and down around each test.
+
+On the real node this is a lock file the back-end checks; here it is
+an explicit object with the same check-and-lock / unlock semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import InterfaceLockedError, NotOwnerError
+
+
+class InterfaceLock:
+    """Mutual exclusion over the node's UMTS interface."""
+
+    def __init__(self, resource: str = "umts0"):
+        self.resource = resource
+        self._holder: Optional[str] = None
+        self.acquisitions = 0
+        self.contentions = 0
+
+    @property
+    def holder(self) -> Optional[str]:
+        """The slice currently holding the interface, if any."""
+        return self._holder
+
+    @property
+    def locked(self) -> bool:
+        """Whether any slice holds the interface."""
+        return self._holder is not None
+
+    def acquire(self, slice_name: str) -> None:
+        """Check-and-lock for ``slice_name``.
+
+        Re-acquisition by the holder is an error too (the connection is
+        already being managed); any other holder raises
+        :class:`InterfaceLockedError`.
+        """
+        if self._holder == slice_name:
+            raise InterfaceLockedError(
+                f"slice {slice_name!r} already holds {self.resource}"
+            )
+        if self._holder is not None:
+            self.contentions += 1
+            raise InterfaceLockedError(
+                f"{self.resource} is locked by slice {self._holder!r}"
+            )
+        self._holder = slice_name
+        self.acquisitions += 1
+
+    def require_owner(self, slice_name: str, operation: str) -> None:
+        """Raise :class:`NotOwnerError` unless ``slice_name`` holds the lock."""
+        if self._holder is None:
+            raise NotOwnerError(f"{operation}: the UMTS connection is not active")
+        if self._holder != slice_name:
+            raise NotOwnerError(
+                f"{operation}: {self.resource} is held by slice {self._holder!r}, "
+                f"not {slice_name!r}"
+            )
+
+    def release(self, slice_name: str) -> None:
+        """Unlock; only the holder may release."""
+        self.require_owner(slice_name, "unlock")
+        self._holder = None
+
+    def force_release(self) -> None:
+        """Administrative unlock (node operator cleanup)."""
+        self._holder = None
+
+    def __repr__(self) -> str:
+        state = f"held by {self._holder!r}" if self._holder else "free"
+        return f"<InterfaceLock {self.resource} {state}>"

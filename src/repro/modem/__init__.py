@@ -1,0 +1,31 @@
+"""3G modem devices and the user-space dial tools.
+
+The paper supports two UMTS NICs — the Option Globetrotter GT 3G+
+(kernel driver ``nozomi``) and the Huawei E620 (``usbserial``) — and
+drives them with ``comgt`` (network registration via AT commands) and
+``wvdial`` (dialing ``*99#`` to start the PPP data call).
+
+Here a :class:`Modem3G` is an AT-command state machine on a
+:class:`SerialPort`; the two card classes differ in identification and
+timing quirks.  :class:`Comgt` and :class:`Wvdial` are generator-based
+reimplementations of the tools' control flow, run as simulation
+processes by the privileged back-end.
+"""
+
+from repro.modem.cards import GlobetrotterGT3G, HuaweiE620
+from repro.modem.comgt import Comgt
+from repro.modem.device import Modem3G, ModemError, RegistrationStatus
+from repro.modem.serial import SerialPort
+from repro.modem.wvdial import SerialPppTransport, Wvdial
+
+__all__ = [
+    "Comgt",
+    "GlobetrotterGT3G",
+    "HuaweiE620",
+    "Modem3G",
+    "ModemError",
+    "RegistrationStatus",
+    "SerialPort",
+    "SerialPppTransport",
+    "Wvdial",
+]

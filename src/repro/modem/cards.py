@@ -1,0 +1,35 @@
+"""The two UMTS cards the paper supports."""
+
+from __future__ import annotations
+
+from repro.modem.device import Modem3G
+
+
+class GlobetrotterGT3G(Modem3G):
+    """Option Globetrotter GT 3G+ (PC-Card).
+
+    Driven by the ``nozomi`` kernel module, which the paper had to
+    patch for the PlanetLab 2.6.22 kernel.  A three-port card; the
+    first port carries the AT/PPP dialogue.
+    """
+
+    model = "GlobeTrotter 3G+"
+    manufacturer = "Option N.V."
+    required_module = "nozomi"
+
+
+class HuaweiE620(Modem3G):
+    """Huawei E620 (USB).
+
+    Appears as USB serial ports via ``pl2303``/``usbserial``.  Slightly
+    slower to reach CONNECT than the Option card in our bench traces,
+    which the dial delay reflects.
+    """
+
+    model = "E620"
+    manufacturer = "huawei"
+    required_module = "usbserial"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dial_delay = 2.5

@@ -1,0 +1,53 @@
+"""Expect-style chat over a serial port.
+
+Both comgt and wvdial are, at heart, chat scripts: write an AT command,
+collect response lines until a terminal result code.  :func:`chat` is
+that primitive as a simulation generator (``yield from chat(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.modem.serial import SerialPort
+
+#: Result codes that end one command's response.
+_TERMINAL_PREFIXES = (
+    "OK",
+    "ERROR",
+    "NO CARRIER",
+    "BUSY",
+    "NO DIALTONE",
+    "CONNECT",
+    "+CME ERROR",
+)
+
+
+def is_terminal(line: str) -> bool:
+    """Whether a response line ends the command."""
+    return line.startswith(_TERMINAL_PREFIXES)
+
+
+def chat(port: SerialPort, command: str):
+    """Send ``command``; gather lines until a result code.
+
+    A generator for use inside simulation processes::
+
+        terminal, info = yield from chat(port, "AT+CREG?")
+
+    Returns ``(terminal_line, info_lines)``.  Command echo (if the
+    modem has ATE1 set) is skipped; non-string items (stray data-mode
+    frames) are ignored.
+    """
+    port.write(command)
+    info: List[str] = []
+    while True:
+        item = yield port.read()
+        if not isinstance(item, str):
+            continue
+        line = item.strip()
+        if not line or line == command:
+            continue
+        if is_terminal(line):
+            return line, info
+        info.append(line)

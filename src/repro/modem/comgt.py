@@ -1,0 +1,80 @@
+"""comgt — GPRS/UMTS network registration.
+
+The paper uses comgt "to register into the operator network".  The
+tool's default script checks the modem is alive, deals with the SIM
+PIN, then polls ``AT+CREG?`` until the card reports registered (home
+or roaming), finally reading signal quality.  :meth:`Comgt.run` is
+that script as a simulation process returning a (exit code, output
+lines) pair — the same contract vsys back-ends use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.modem.chat import chat
+from repro.modem.device import RegistrationStatus
+from repro.modem.serial import SerialPort
+
+_REGISTERED = (
+    int(RegistrationStatus.REGISTERED_HOME),
+    int(RegistrationStatus.REGISTERED_ROAMING),
+)
+
+
+class Comgt:
+    """The registration tool bound to one serial port."""
+
+    def __init__(
+        self,
+        port: SerialPort,
+        pin: Optional[str] = None,
+        poll_interval: float = 2.0,
+        max_attempts: int = 30,
+    ):
+        self.port = port
+        self.pin = pin
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+
+    def run(self):
+        """The default comgt script.  Generator returning (code, lines)."""
+        terminal, _ = yield from chat(self.port, "AT")
+        if terminal != "OK":
+            return 1, [f"comgt: modem not responding ({terminal})"]
+        terminal, info = yield from chat(self.port, "AT+CPIN?")
+        if terminal != "OK":
+            return 1, [f"comgt: SIM query failed ({terminal})"]
+        if info and "SIM PIN" in info[0]:
+            if self.pin is None:
+                return 1, ["comgt: SIM PIN required but none configured"]
+            terminal, _ = yield from chat(self.port, f'AT+CPIN="{self.pin}"')
+            if terminal != "OK":
+                return 1, [f"comgt: PIN rejected ({terminal})"]
+        for _attempt in range(self.max_attempts):
+            terminal, info = yield from chat(self.port, "AT+CREG?")
+            status = _parse_creg(info)
+            if status in _REGISTERED:
+                lines = [f"comgt: registered on network (CREG {status})"]
+                terminal, info = yield from chat(self.port, "AT+CSQ")
+                if terminal == "OK" and info:
+                    lines.append(f"comgt: signal {info[0].replace('+CSQ: ', '')}")
+                terminal, info = yield from chat(self.port, "AT+COPS?")
+                if terminal == "OK" and info:
+                    lines.append(f"comgt: operator {info[0]}")
+                return 0, lines
+            if status == int(RegistrationStatus.DENIED):
+                return 1, ["comgt: registration denied by network"]
+            yield self.poll_interval
+        return 1, ["comgt: registration timed out"]
+
+
+def _parse_creg(info: List[str]) -> int:
+    """Extract the status digit from a ``+CREG: 0,<stat>`` line."""
+    for line in info:
+        if line.startswith("+CREG:"):
+            try:
+                return int(line.split(",")[1])
+            except (IndexError, ValueError):
+                return int(RegistrationStatus.NOT_REGISTERED)
+    return int(RegistrationStatus.NOT_REGISTERED)

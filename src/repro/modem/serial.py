@@ -1,0 +1,58 @@
+"""Serial ports between the host tools and the modem.
+
+The port carries Python objects: strings are command/response lines
+(the AT dialogue), :class:`~repro.ppp.frame.PPPFrame` objects are the
+data-mode traffic.  Byte-level framing is modelled separately
+(:mod:`repro.ppp.hdlc`); carrying parsed objects keeps the tools'
+logic readable without changing any behaviour the experiments see.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Store, StoreGet
+
+
+class SerialPort:
+    """A bidirectional host↔modem serial line.
+
+    The host side is what comgt/wvdial/pppd hold; the modem side is
+    private to the device (``_modem_read``/``_modem_write``).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "ttyUSB0"):
+        self.sim = sim
+        self.name = name
+        self._to_modem = Store(sim, f"{name}.out")
+        self._to_host = Store(sim, f"{name}.in")
+        self.host_writes = 0
+        self.modem_writes = 0
+
+    # -- host side ------------------------------------------------------
+
+    def write(self, item: Any) -> None:
+        """Host → modem (a command line or a PPP frame)."""
+        self.host_writes += 1
+        self._to_modem.put(item)
+
+    def read(self) -> StoreGet:
+        """Yieldable token resolving to the next modem → host item."""
+        return self._to_host.get()
+
+    def read_available(self) -> int:
+        """Items waiting for the host."""
+        return len(self._to_host)
+
+    # -- modem side --------------------------------------------------------
+
+    def _modem_write(self, item: Any) -> None:
+        self.modem_writes += 1
+        self._to_host.put(item)
+
+    def _modem_read(self) -> StoreGet:
+        return self._to_modem.get()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SerialPort {self.name}>"

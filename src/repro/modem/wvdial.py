@@ -1,0 +1,106 @@
+"""wvdial — establishing the data call, and the serial PPP transport.
+
+wvdial resets the modem, defines the PDP context for the operator's
+APN, dials ``*99#`` and waits for CONNECT; at that point the serial
+line is in data mode and pppd takes over.  :class:`SerialPppTransport`
+is that takeover: it adapts the host side of the serial port to the
+frame-transport interface :class:`~repro.ppp.daemon.Pppd` expects, and
+surfaces "NO CARRIER" as a carrier-lost event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.modem.chat import chat
+from repro.modem.serial import SerialPort
+from repro.ppp.frame import PPPFrame
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, spawn
+
+
+class Wvdial:
+    """The dialer bound to one serial port."""
+
+    def __init__(
+        self,
+        port: SerialPort,
+        apn: str,
+        phone: str = "*99#",
+        init_commands: Optional[List[str]] = None,
+    ):
+        self.port = port
+        self.apn = apn
+        self.phone = phone
+        self.init_commands = list(init_commands or [])
+
+    def run(self):
+        """The dial sequence.  Generator returning (code, lines).
+
+        On success (exit 0) the serial port is in data mode and the
+        last output line is the CONNECT message.
+        """
+        setup = ["ATZ", f'AT+CGDCONT=1,"IP","{self.apn}"'] + self.init_commands
+        for command in setup:
+            terminal, _ = yield from chat(self.port, command)
+            if terminal != "OK":
+                return 1, [f"wvdial: {command} failed ({terminal})"]
+        terminal, _ = yield from chat(self.port, f"ATD{self.phone}")
+        if terminal.startswith("CONNECT"):
+            return 0, [f"wvdial: carrier acquired ({terminal})"]
+        return 1, [f"wvdial: dial failed ({terminal})"]
+
+    def hangup(self):
+        """Escape to command mode and hang up.  Generator returning (code, lines)."""
+        self.port.write("+++")
+        while True:
+            item = yield self.port.read()
+            if isinstance(item, str) and item.strip() == "OK":
+                break
+        terminal, _ = yield from chat(self.port, "ATH")
+        if terminal == "OK":
+            return 0, ["wvdial: disconnected"]
+        return 1, [f"wvdial: hangup failed ({terminal})"]
+
+
+class SerialPppTransport:
+    """pppd's frame transport over a serial port in data mode."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: SerialPort,
+        on_carrier_lost: Optional[Callable[[], None]] = None,
+    ):
+        self.sim = sim
+        self.port = port
+        self.on_carrier_lost = on_carrier_lost
+        self._receiver: Optional[Callable[[PPPFrame], None]] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._reader: Process = spawn(sim, self._read_loop(), name=f"ppp-tty:{port.name}")
+
+    def set_receiver(self, callback: Callable[[PPPFrame], None]) -> None:
+        """Register pppd's inbound frame handler."""
+        self._receiver = callback
+
+    def send_frame(self, frame: PPPFrame) -> None:
+        """pppd → modem."""
+        self.frames_sent += 1
+        self.port.write(frame)
+
+    def stop(self) -> None:
+        """Detach from the port (pppd exited)."""
+        self._reader.interrupt("transport stopped")
+
+    def _read_loop(self):
+        while True:
+            item = yield self.port.read()
+            if isinstance(item, PPPFrame):
+                self.frames_received += 1
+                if self._receiver is not None:
+                    self._receiver(item)
+            elif isinstance(item, str) and item.strip() == "NO CARRIER":
+                if self.on_carrier_lost is not None:
+                    self.on_carrier_lost()
+                return

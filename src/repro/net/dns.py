@@ -1,0 +1,165 @@
+"""A small DNS: server, resolver, A records.
+
+Dial-up networking needs name resolution: IPCP pushes the operator's
+DNS server to the mobile (the ``dns1`` option, see
+:mod:`repro.ppp.ipcp`), and the GGSN answers queries for it.  This
+module provides both halves — a zone-backed :class:`DnsServer` and a
+retrying :class:`DnsResolver` — so experiments can address nodes by
+name (``onelab03.inria.fr``) instead of hard-coded literals, over
+either path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, NamedTuple, Optional
+
+from repro.net.addressing import AddressLike, IPv4Address, ip
+from repro.net.errors import NetworkError
+from repro.net.socket import UDPSocket
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal, spawn
+
+DNS_PORT = 53
+
+_query_ids = itertools.count(1)
+
+
+class DnsQuery(NamedTuple):
+    """A question: name + query id."""
+
+    qid: int
+    name: str
+
+
+class DnsAnswer(NamedTuple):
+    """A response: the queried name, its address (None = NXDOMAIN)."""
+
+    qid: int
+    name: str
+    address: Optional[IPv4Address]
+
+
+class DnsServer:
+    """An authoritative server over a name→address zone."""
+
+    def __init__(self, socket: UDPSocket, zone: Optional[Dict[str, AddressLike]] = None,
+                 port: int = DNS_PORT):
+        self.socket = socket
+        if socket.port == 0:
+            socket.bind(port=port)
+        socket.on_receive = self._on_query
+        self._zone: Dict[str, IPv4Address] = {}
+        for name, address in (zone or {}).items():
+            self.add_record(name, address)
+        self.queries = 0
+        self.nxdomains = 0
+
+    def add_record(self, name: str, address: AddressLike) -> None:
+        """Install/replace one A record."""
+        self._zone[name.lower().rstrip(".")] = ip(address)
+
+    def remove_record(self, name: str) -> None:
+        """Delete an A record (missing names are ignored)."""
+        self._zone.pop(name.lower().rstrip("."), None)
+
+    def lookup(self, name: str) -> Optional[IPv4Address]:
+        """Zone lookup (no network involved)."""
+        return self._zone.get(name.lower().rstrip("."))
+
+    def _on_query(self, payload, src, sport, packet) -> None:
+        if not isinstance(payload, DnsQuery):
+            return
+        self.queries += 1
+        address = self.lookup(payload.name)
+        if address is None:
+            self.nxdomains += 1
+        answer = DnsAnswer(payload.qid, payload.name, address)
+        try:
+            self.socket.sendto(answer, 64, src, sport)
+        except NetworkError:
+            pass
+
+
+class ResolutionError(Exception):
+    """The resolver gave up (timeouts) or the name does not exist."""
+
+
+class DnsResolver:
+    """A stub resolver with timeout and retry.
+
+    ``resolve(name)`` returns a simulation process whose value is the
+    :class:`IPv4Address`; inside another process, write
+    ``address = yield resolver.resolve(name)``.  NXDOMAIN or exhausted
+    retries surface as a :class:`ResolutionError` carried in the
+    process value (``resolve_blocking`` raises it directly).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: UDPSocket,
+        server: AddressLike,
+        timeout: float = 2.0,
+        retries: int = 2,
+    ):
+        self.sim = sim
+        self.socket = socket
+        self.server = ip(server)
+        self.timeout = timeout
+        self.retries = retries
+        self._waiting: Dict[int, Signal] = {}
+        socket.on_receive = self._on_answer
+        if socket.port == 0:
+            socket.bind()
+        self.sent_queries = 0
+        self.timeouts = 0
+
+    def _on_answer(self, payload, src, sport, packet) -> None:
+        if not isinstance(payload, DnsAnswer):
+            return
+        signal = self._waiting.pop(payload.qid, None)
+        if signal is not None:
+            signal.fire(payload)
+
+    def resolve(self, name: str) -> Process:
+        """Start one resolution; returns the process."""
+
+        def body():
+            last_error = "no attempts made"
+            for _attempt in range(self.retries + 1):
+                qid = next(_query_ids)
+                answered = Signal(self.sim, f"dns-{qid}")
+                self._waiting[qid] = answered
+                try:
+                    self.socket.sendto(DnsQuery(qid, name), 48, self.server, DNS_PORT)
+                except NetworkError as exc:
+                    self._waiting.pop(qid, None)
+                    last_error = f"send failed: {exc}"
+                    yield self.timeout
+                    continue
+                self.sent_queries += 1
+                timer = self.sim.schedule(self.timeout, answered.fire, None)
+                answer = yield answered
+                timer.cancel()
+                if answer is None:
+                    self._waiting.pop(qid, None)
+                    self.timeouts += 1
+                    last_error = "query timed out"
+                    continue
+                if answer.address is None:
+                    return ResolutionError(f"NXDOMAIN: {name}")
+                return answer.address
+            return ResolutionError(f"resolution of {name!r} failed: {last_error}")
+
+        return spawn(self.sim, body(), name=f"resolve:{name}")
+
+    def resolve_blocking(self, name: str) -> IPv4Address:
+        """Run the simulator until the resolution completes (tests/scripts)."""
+        process = self.resolve(name)
+        while process.alive:
+            if not self.sim.step():
+                raise ResolutionError(f"resolver deadlocked resolving {name!r}")
+        if isinstance(process.value, ResolutionError):
+            raise process.value
+        return process.value

@@ -1,0 +1,21 @@
+"""Exceptions raised by the network substrate."""
+
+
+class NetworkError(Exception):
+    """Base class for every error raised by :mod:`repro.net`."""
+
+
+class NoRouteError(NetworkError):
+    """No routing-table entry matched the destination (EHOSTUNREACH)."""
+
+
+class AddressInUseError(NetworkError):
+    """A socket bind collided with an existing binding (EADDRINUSE)."""
+
+
+class InterfaceDownError(NetworkError):
+    """A send was attempted through an interface that is down (ENETDOWN)."""
+
+
+class PermissionDeniedError(NetworkError):
+    """The calling context lacks the privilege for the operation (EPERM)."""

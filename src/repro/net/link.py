@@ -1,0 +1,210 @@
+"""Links and transmission channels.
+
+A :class:`Channel` is one direction of a link: a DropTail byte queue in
+front of a serializing transmitter, followed by a propagation delay
+with optional jitter and random loss.  A :class:`Link` wires two
+interfaces together with a channel each way.
+
+The channel's ``rate_bps`` is read at the start of every packet
+transmission, so a rate change (the UMTS RAB upgrade) takes effect on
+the next packet boundary — exactly how a real dedicated channel
+reconfiguration behaves at this level of abstraction.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import Distribution
+
+
+class Channel:
+    """One direction of a link.
+
+    Parameters
+    ----------
+    sim:
+        the simulator.
+    deliver:
+        callback receiving each packet that survives the channel.
+    rate_bps:
+        serialization rate in bits per second; mutable at runtime.
+    delay:
+        fixed one-way propagation/processing delay in seconds.
+    queue_bytes:
+        DropTail queue capacity in bytes (packets whose arrival would
+        exceed it are dropped).
+    loss_rate:
+        independent per-packet loss probability applied after
+        serialization (models residual link-layer loss).
+    jitter:
+        optional distribution of extra per-packet delay, sampled per
+        packet; deliveries are serialized so the channel never reorders.
+    rng:
+        random source for loss and jitter (required if either is used).
+    length_of:
+        how to size the queued items in bytes; defaults to the IP
+        packet's ``length``.  The UMTS radio bearer reuses this class
+        for PPP frames by passing ``lambda f: f.wire_length``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[Packet], None],
+        rate_bps: float,
+        delay: float,
+        queue_bytes: int = 256000,
+        loss_rate: float = 0.0,
+        jitter: Optional[Distribution] = None,
+        rng: Optional[_random.Random] = None,
+        name: str = "",
+        length_of: Callable[[object], int] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps!r}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate!r}")
+        if (loss_rate > 0.0 or jitter is not None) and rng is None:
+            raise ValueError("loss or jitter requires an rng")
+        self._sim = sim
+        self._deliver = deliver
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue_bytes = queue_bytes
+        self.loss_rate = loss_rate
+        self.jitter = jitter
+        self._rng = rng
+        self.name = name
+        self._length_of = length_of if length_of is not None else (lambda item: item.length)
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self._last_delivery_time = 0.0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_queue = 0
+        self.dropped_loss = 0
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting in the queue (not counting in-flight)."""
+        return self._queued_bytes
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets currently waiting in the queue."""
+        return len(self._queue)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet; returns ``False`` if the queue rejected it."""
+        size = self._length_of(packet)
+        if self._queued_bytes + size > self.queue_bytes and self._busy:
+            self.dropped_queue += 1
+            return False
+        if self._busy:
+            self._queue.append(packet)
+            self._queued_bytes += size
+        else:
+            self._begin_transmission(packet)
+        return True
+
+    def _begin_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        serialization = self._length_of(packet) * 8.0 / self.rate_bps
+        self._sim.schedule(serialization, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += self._length_of(packet)
+        self._schedule_delivery(packet)
+        if self._queue:
+            next_packet = self._queue.popleft()
+            self._queued_bytes -= self._length_of(next_packet)
+            self._begin_transmission(next_packet)
+        else:
+            self._busy = False
+
+    def _schedule_delivery(self, packet: Packet) -> None:
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped_loss += 1
+            return
+        delay = self.delay
+        if self.jitter is not None:
+            delay += max(0.0, self.jitter.sample(self._rng))
+        arrival = self._sim.now + delay
+        # FIFO channels never reorder: clamp to the last delivery time.
+        if arrival < self._last_delivery_time:
+            arrival = self._last_delivery_time
+        self._last_delivery_time = arrival
+        self._sim.schedule_at(arrival, self._deliver, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Channel {self.name!r} rate={self.rate_bps:.0f}bps "
+            f"delay={self.delay * 1000:.1f}ms backlog={self._queued_bytes}B>"
+        )
+
+
+class Link:
+    """A full-duplex link between two interfaces.
+
+    Creates one :class:`Channel` per direction with (by default)
+    symmetric parameters, attaches them, and brings both interfaces up.
+    Use the asymmetric keyword pairs when the two directions differ.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Interface,
+        b: Interface,
+        rate_bps: float = 100e6,
+        delay: float = 0.0001,
+        queue_bytes: int = 256000,
+        loss_rate: float = 0.0,
+        jitter: Optional[Distribution] = None,
+        rng: Optional[_random.Random] = None,
+        rate_bps_ab: Optional[float] = None,
+        rate_bps_ba: Optional[float] = None,
+        name: str = "",
+    ):
+        self.name = name or f"{a.name}<->{b.name}"
+        self.a = a
+        self.b = b
+        self.ab = Channel(
+            sim,
+            b.deliver,
+            rate_bps_ab if rate_bps_ab is not None else rate_bps,
+            delay,
+            queue_bytes=queue_bytes,
+            loss_rate=loss_rate,
+            jitter=jitter,
+            rng=rng,
+            name=f"{self.name}:ab",
+        )
+        self.ba = Channel(
+            sim,
+            a.deliver,
+            rate_bps_ba if rate_bps_ba is not None else rate_bps,
+            delay,
+            queue_bytes=queue_bytes,
+            loss_rate=loss_rate,
+            jitter=jitter,
+            rng=rng,
+            name=f"{self.name}:ba",
+        )
+        a.attach(self.ab)
+        b.attach(self.ba)
+        a.bring_up()
+        b.bring_up()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name}>"

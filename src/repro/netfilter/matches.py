@@ -1,0 +1,165 @@
+"""Rule matches.
+
+Every match supports inversion (iptables ``!``).  The
+:class:`XidMatch` models the VNET+ extension PlanetLab added so
+iptables can select packets by the VServer context (slice) that
+generated them — the feature §2.3 of the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addressing import IPv4Network, NetworkLike, network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netfilter.chains import PacketContext
+
+
+class Match:
+    """Base class: a predicate over (packet, hook context)."""
+
+    def __init__(self, invert: bool = False):
+        self.invert = invert
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        raise NotImplementedError
+
+    def matches(self, ctx: "PacketContext") -> bool:
+        """Apply the predicate, honouring inversion."""
+        result = self._test(ctx)
+        return not result if self.invert else result
+
+    def _bang(self) -> str:
+        return "! " if self.invert else ""
+
+
+class ProtocolMatch(Match):
+    """``-p udp`` etc. (by protocol number)."""
+
+    def __init__(self, proto: int, invert: bool = False):
+        super().__init__(invert)
+        self.proto = proto
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.proto == self.proto
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}-p {self.proto}"
+
+
+class SourceMatch(Match):
+    """``-s <prefix>``."""
+
+    def __init__(self, prefix: NetworkLike, invert: bool = False):
+        super().__init__(invert)
+        self.prefix: IPv4Network = network(prefix)
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.src in self.prefix
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}-s {self.prefix}"
+
+
+class DestinationMatch(Match):
+    """``-d <prefix>``."""
+
+    def __init__(self, prefix: NetworkLike, invert: bool = False):
+        super().__init__(invert)
+        self.prefix: IPv4Network = network(prefix)
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.dst in self.prefix
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}-d {self.prefix}"
+
+
+class InInterfaceMatch(Match):
+    """``-i <iface>`` (valid in PREROUTING/INPUT/FORWARD)."""
+
+    def __init__(self, name: str, invert: bool = False):
+        super().__init__(invert)
+        self.name = name
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.in_iface == self.name
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}-i {self.name}"
+
+
+class OutInterfaceMatch(Match):
+    """``-o <iface>`` (valid in OUTPUT/FORWARD/POSTROUTING)."""
+
+    def __init__(self, name: str, invert: bool = False):
+        super().__init__(invert)
+        self.name = name
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.out_iface == self.name
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}-o {self.name}"
+
+
+class MarkMatch(Match):
+    """``-m mark --mark value[/mask]``."""
+
+    def __init__(self, mark: int, mask: int = 0xFFFFFFFF, invert: bool = False):
+        super().__init__(invert)
+        self.mark = mark
+        self.mask = mask
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return (ctx.packet.mark & self.mask) == (self.mark & self.mask)
+
+    def __repr__(self) -> str:
+        return f"-m mark {self._bang()}--mark {self.mark:#x}/{self.mask:#x}"
+
+
+class XidMatch(Match):
+    """``-m xid --xid N`` — the VNET+ slice-context match.
+
+    Matches packets whose generating socket belonged to VServer context
+    ``xid``.  Root-context packets have xid 0.
+    """
+
+    def __init__(self, xid: int, invert: bool = False):
+        super().__init__(invert)
+        self.xid = xid
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.xid == self.xid
+
+    def __repr__(self) -> str:
+        return f"-m xid {self._bang()}--xid {self.xid}"
+
+
+class SportMatch(Match):
+    """``--sport N``."""
+
+    def __init__(self, port: int, invert: bool = False):
+        super().__init__(invert)
+        self.port = port
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.sport == self.port
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}--sport {self.port}"
+
+
+class DportMatch(Match):
+    """``--dport N``."""
+
+    def __init__(self, port: int, invert: bool = False):
+        super().__init__(invert)
+        self.port = port
+
+    def _test(self, ctx: "PacketContext") -> bool:
+        return ctx.packet.dport == self.port
+
+    def __repr__(self) -> str:
+        return f"{self._bang()}--dport {self.port}"

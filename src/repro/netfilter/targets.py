@@ -1,0 +1,111 @@
+"""Rule targets (the ``-j`` argument)."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netfilter.chains import Chain, PacketContext
+
+
+class Verdict(enum.Enum):
+    """Terminal outcomes of chain traversal."""
+
+    ACCEPT = "ACCEPT"
+    DROP = "DROP"
+
+
+class Target:
+    """Base class: applied when all of a rule's matches pass.
+
+    :meth:`apply` returns a :class:`Verdict` to end traversal, the
+    string ``"RETURN"`` to pop back to the calling chain, or ``None``
+    to continue with the next rule (non-terminating targets like MARK
+    and LOG).
+    """
+
+    def apply(self, ctx: "PacketContext"):
+        """Execute the target against the packet; see class docs."""
+        raise NotImplementedError
+
+
+class AcceptTarget(Target):
+    """``-j ACCEPT``."""
+
+    def apply(self, ctx: "PacketContext") -> Verdict:
+        """Terminate traversal, accepting the packet."""
+        return Verdict.ACCEPT
+
+    def __repr__(self) -> str:
+        return "-j ACCEPT"
+
+
+class DropTarget(Target):
+    """``-j DROP``."""
+
+    def apply(self, ctx: "PacketContext") -> Verdict:
+        """Terminate traversal, dropping the packet."""
+        return Verdict.DROP
+
+    def __repr__(self) -> str:
+        return "-j DROP"
+
+
+class ReturnTarget(Target):
+    """``-j RETURN``."""
+
+    def apply(self, ctx: "PacketContext") -> str:
+        """Pop back to the calling chain."""
+        return "RETURN"
+
+    def __repr__(self) -> str:
+        return "-j RETURN"
+
+
+class MarkTarget(Target):
+    """``-j MARK --set-mark value`` (non-terminating, mangle table)."""
+
+    def __init__(self, mark: int):
+        self.mark = mark
+
+    def apply(self, ctx: "PacketContext") -> None:
+        """Set the packet's fwmark; traversal continues."""
+        ctx.packet.mark = self.mark
+        return None
+
+    def __repr__(self) -> str:
+        return f"-j MARK --set-mark {self.mark:#x}"
+
+
+class LogTarget(Target):
+    """``-j LOG`` — records (time, packet repr) into ``entries``."""
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self.entries: List[Tuple[Optional[float], str]] = []
+
+    def apply(self, ctx: "PacketContext") -> None:
+        """Record the packet; traversal continues."""
+        self.entries.append((ctx.now, f"{self.prefix}{ctx.packet!r}"))
+        return None
+
+    def __repr__(self) -> str:
+        return f"-j LOG --log-prefix {self.prefix!r}"
+
+
+class JumpTarget(Target):
+    """``-j <user-chain>`` — traverse another chain, then continue."""
+
+    def __init__(self, chain: "Chain"):
+        self.chain = chain
+
+    def apply(self, ctx: "PacketContext"):
+        """Traverse the user chain; RETURN/fall-through continues here."""
+        verdict = self.chain.traverse(ctx)
+        if verdict == "RETURN" or verdict is None:
+            return None
+        return verdict
+
+    def __repr__(self) -> str:
+        return f"-j {self.chain.name}"

@@ -1,0 +1,261 @@
+"""The PPP option-negotiation automaton (RFC 1661, simplified).
+
+One :class:`NegotiationFsm` instance drives one control protocol (LCP
+or IPCP) on one side of the link.  It keeps the familiar states —
+CLOSED, REQ-SENT, ACK-RCVD, ACK-SENT, OPENED, CLOSING — retransmits
+Configure-Requests on the restart timer, honours Configure-Nak by
+adjusting its own requested options, and tears down with
+Terminate-Request/Ack.
+
+Subclasses provide the option policy:
+
+- :meth:`initial_options` — what we ask for;
+- :meth:`check_peer_options` — ack or nak the peer's request;
+- :meth:`on_nak` — fold the peer's suggestions into our next request.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.ppp.frame import (
+    CONF_ACK,
+    CONF_NAK,
+    CONF_REQ,
+    ECHO_REP,
+    ECHO_REQ,
+    TERM_ACK,
+    TERM_REQ,
+    ControlPacket,
+)
+from repro.sim.engine import Event, Simulator
+
+#: RFC 1661 defaults.
+RESTART_INTERVAL = 3.0
+MAX_CONFIGURE = 10
+MAX_TERMINATE = 2
+
+
+class FsmState(enum.Enum):
+    """Automaton states (the subset a two-party dial-up visits)."""
+
+    CLOSED = "closed"
+    REQ_SENT = "req-sent"
+    ACK_RCVD = "ack-rcvd"
+    ACK_SENT = "ack-sent"
+    OPENED = "opened"
+    CLOSING = "closing"
+
+
+class NegotiationFsm:
+    """One side of an LCP/IPCP negotiation."""
+
+    #: protocol name for diagnostics ("LCP"/"IPCP").
+    protocol_name = "control"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_packet: Callable[[ControlPacket], None],
+        on_up: Optional[Callable[[], None]] = None,
+        on_down: Optional[Callable[[str], None]] = None,
+        on_fail: Optional[Callable[[str], None]] = None,
+        restart_interval: float = RESTART_INTERVAL,
+        max_configure: int = MAX_CONFIGURE,
+    ):
+        self.sim = sim
+        self.send_packet = send_packet
+        self.on_up = on_up
+        self.on_down = on_down
+        self.on_fail = on_fail
+        self.restart_interval = restart_interval
+        self.max_configure = max_configure
+        self.state = FsmState.CLOSED
+        self.options: Dict[str, Any] = {}
+        #: the peer's options as acknowledged by us.
+        self.peer_options: Dict[str, Any] = {}
+        self._next_id = 1
+        self._current_id: Optional[int] = None
+        self._restart_counter = 0
+        self._terminate_counter = 0
+        self._timer: Optional[Event] = None
+
+    # -- option policy hooks -------------------------------------------
+
+    def initial_options(self) -> Dict[str, Any]:
+        """Options for our first Configure-Request."""
+        return {}
+
+    def check_peer_options(
+        self, options: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Judge the peer's Configure-Request.
+
+        Returns ``(CONF_ACK, options)`` to accept or
+        ``(CONF_NAK, suggested)`` to push back.
+        """
+        return CONF_ACK, options
+
+    def on_nak(self, suggested: Dict[str, Any]) -> None:
+        """Fold the peer's Configure-Nak suggestions into our options."""
+        self.options.update(suggested)
+
+    # -- public controls ------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """True once both sides acknowledged each other."""
+        return self.state == FsmState.OPENED
+
+    def open(self) -> None:
+        """Start negotiating (administrative Open + link Up)."""
+        if self.state != FsmState.CLOSED:
+            return
+        self.options = self.initial_options()
+        self._restart_counter = self.max_configure
+        self._send_configure_request()
+        self.state = FsmState.REQ_SENT
+
+    def close(self, reason: str = "administrative close") -> None:
+        """Tear the protocol down with Terminate-Request."""
+        if self.state == FsmState.CLOSED:
+            return
+        was_open = self.state == FsmState.OPENED
+        self.state = FsmState.CLOSING
+        self._terminate_counter = MAX_TERMINATE
+        self._send_terminate_request()
+        if was_open and self.on_down is not None:
+            self.on_down(reason)
+
+    def abort(self, reason: str = "lower layer down") -> None:
+        """Hard stop without Terminate exchange (carrier lost)."""
+        was_open = self.state == FsmState.OPENED
+        self._cancel_timer()
+        self.state = FsmState.CLOSED
+        if was_open and self.on_down is not None:
+            self.on_down(reason)
+
+    # -- packet input -----------------------------------------------------
+
+    def receive(self, packet: ControlPacket) -> None:
+        """Feed one received LCP/IPCP packet into the automaton."""
+        if self.state == FsmState.CLOSED and packet.code != TERM_REQ:
+            return
+        if packet.code == CONF_REQ:
+            self._rcv_configure_request(packet)
+        elif packet.code == CONF_ACK:
+            self._rcv_configure_ack(packet)
+        elif packet.code == CONF_NAK:
+            self._rcv_configure_nak(packet)
+        elif packet.code == TERM_REQ:
+            self._rcv_terminate_request(packet)
+        elif packet.code == TERM_ACK:
+            self._rcv_terminate_ack(packet)
+        elif packet.code == ECHO_REQ:
+            if self.state == FsmState.OPENED:
+                self.send_packet(
+                    ControlPacket(ECHO_REP, packet.identifier, packet.options)
+                )
+        # Echo-Reply and unknown codes are ignored.
+
+    # -- state transitions ---------------------------------------------
+
+    def _rcv_configure_request(self, packet: ControlPacket) -> None:
+        if self.state == FsmState.CLOSING:
+            return
+        verdict, options = self.check_peer_options(dict(packet.options))
+        if verdict == CONF_ACK:
+            self.peer_options = dict(packet.options)
+            self.send_packet(ControlPacket(CONF_ACK, packet.identifier, packet.options))
+            if self.state == FsmState.ACK_RCVD:
+                self._enter_opened()
+            elif self.state == FsmState.OPENED:
+                # Renegotiation: drop back and re-request our side.
+                self._restart_counter = self.max_configure
+                self._send_configure_request()
+                self.state = FsmState.ACK_SENT
+            else:
+                self.state = FsmState.ACK_SENT
+        else:
+            self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
+            if self.state == FsmState.ACK_SENT:
+                self.state = FsmState.REQ_SENT
+
+    def _rcv_configure_ack(self, packet: ControlPacket) -> None:
+        if packet.identifier != self._current_id:
+            return  # stale ack
+        if self.state == FsmState.REQ_SENT:
+            self.state = FsmState.ACK_RCVD
+        elif self.state == FsmState.ACK_SENT:
+            self._enter_opened()
+
+    def _rcv_configure_nak(self, packet: ControlPacket) -> None:
+        if packet.identifier != self._current_id:
+            return
+        if self.state in (FsmState.REQ_SENT, FsmState.ACK_RCVD, FsmState.ACK_SENT):
+            self.on_nak(dict(packet.options))
+            self._send_configure_request()
+            if self.state == FsmState.ACK_RCVD:
+                self.state = FsmState.REQ_SENT
+
+    def _rcv_terminate_request(self, packet: ControlPacket) -> None:
+        self.send_packet(ControlPacket(TERM_ACK, packet.identifier))
+        was_open = self.state == FsmState.OPENED
+        self._cancel_timer()
+        self.state = FsmState.CLOSED
+        if was_open and self.on_down is not None:
+            self.on_down("peer terminated")
+
+    def _rcv_terminate_ack(self, packet: ControlPacket) -> None:
+        if self.state == FsmState.CLOSING:
+            self._cancel_timer()
+            self.state = FsmState.CLOSED
+
+    def _enter_opened(self) -> None:
+        self._cancel_timer()
+        self.state = FsmState.OPENED
+        if self.on_up is not None:
+            self.on_up()
+
+    # -- transmission and timers -------------------------------------------
+
+    def _send_configure_request(self) -> None:
+        self._current_id = self._next_id
+        self._next_id += 1
+        self.send_packet(ControlPacket(CONF_REQ, self._current_id, self.options))
+        self._arm_timer()
+
+    def _send_terminate_request(self) -> None:
+        self.send_packet(ControlPacket(TERM_REQ, self._next_id))
+        self._next_id += 1
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.restart_interval, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.state in (FsmState.REQ_SENT, FsmState.ACK_RCVD, FsmState.ACK_SENT):
+            self._restart_counter -= 1
+            if self._restart_counter <= 0:
+                self.state = FsmState.CLOSED
+                if self.on_fail is not None:
+                    self.on_fail(f"{self.protocol_name}: negotiation timed out")
+                return
+            self._send_configure_request()
+        elif self.state == FsmState.CLOSING:
+            self._terminate_counter -= 1
+            if self._terminate_counter <= 0:
+                self.state = FsmState.CLOSED
+                return
+            self._send_terminate_request()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.protocol_name}-fsm {self.state.value}>"

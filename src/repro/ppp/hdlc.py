@@ -1,0 +1,85 @@
+"""HDLC-like byte framing (RFC 1662).
+
+``ppp_async`` frames every PPP packet between 0x7E flags and escapes
+flag/escape/control octets with 0x7D followed by the octet XOR 0x20.
+A 16-bit FCS (CRC-16/X.25) protects the frame.
+
+The simulation moves :class:`~repro.ppp.frame.PPPFrame` objects rather
+than octet streams, but this module implements the real encoding so
+the byte-level behaviour is available (and property-tested): encode →
+decode is the identity for any payload, and corrupted frames are
+rejected by FCS.
+"""
+
+from __future__ import annotations
+
+FLAG = 0x7E
+ESCAPE = 0x7D
+ESCAPE_XOR = 0x20
+
+
+class HdlcError(Exception):
+    """Malformed or corrupted HDLC frame."""
+
+
+def _fcs16(data: bytes) -> int:
+    """CRC-16/X.25 as used by PPP (RFC 1662 appendix)."""
+    fcs = 0xFFFF
+    for byte in data:
+        fcs ^= byte
+        for _ in range(8):
+            if fcs & 1:
+                fcs = (fcs >> 1) ^ 0x8408
+            else:
+                fcs >>= 1
+    return fcs ^ 0xFFFF
+
+
+def _needs_escape(byte: int) -> bool:
+    return byte in (FLAG, ESCAPE) or byte < 0x20
+
+
+def hdlc_encode(payload: bytes) -> bytes:
+    """Encode a payload into one flagged, escaped, FCS-protected frame."""
+    fcs = _fcs16(payload)
+    body = payload + bytes([fcs & 0xFF, (fcs >> 8) & 0xFF])
+    out = bytearray([FLAG])
+    for byte in body:
+        if _needs_escape(byte):
+            out.append(ESCAPE)
+            out.append(byte ^ ESCAPE_XOR)
+        else:
+            out.append(byte)
+    out.append(FLAG)
+    return bytes(out)
+
+
+def hdlc_decode(frame: bytes) -> bytes:
+    """Decode one frame produced by :func:`hdlc_encode`.
+
+    Raises :class:`HdlcError` on missing flags, bad escapes, truncated
+    frames, or FCS mismatch.
+    """
+    if len(frame) < 2 or frame[0] != FLAG or frame[-1] != FLAG:
+        raise HdlcError("frame not delimited by flag octets")
+    body = bytearray()
+    escaped = False
+    for byte in frame[1:-1]:
+        if escaped:
+            body.append(byte ^ ESCAPE_XOR)
+            escaped = False
+        elif byte == ESCAPE:
+            escaped = True
+        elif byte == FLAG:
+            raise HdlcError("unescaped flag inside frame")
+        else:
+            body.append(byte)
+    if escaped:
+        raise HdlcError("frame ends mid-escape")
+    if len(body) < 2:
+        raise HdlcError("frame too short for FCS")
+    payload, fcs_bytes = bytes(body[:-2]), body[-2:]
+    received_fcs = fcs_bytes[0] | (fcs_bytes[1] << 8)
+    if _fcs16(payload) != received_fcs:
+        raise HdlcError("FCS mismatch")
+    return payload

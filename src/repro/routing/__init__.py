@@ -1,0 +1,28 @@
+"""iproute2 emulation: routing tables and the routing policy database.
+
+The paper's back-end steers UMTS-slice traffic by (1) creating an
+*additional routing table* whose only entry is a default route through
+``ppp0`` and (2) installing RPDB *rules* that send packets carrying the
+UMTS fwmark — or sourced from the ppp0 address — to that table.  This
+package models exactly that data plane:
+
+- :class:`Route` / :class:`RoutingTable` — longest-prefix-match tables;
+- :class:`Rule` / :class:`RoutingPolicyDatabase` — priority-ordered
+  policy rules selecting a table by fwmark / source / input interface;
+- :class:`IpRoute2` — an ``ip route`` / ``ip rule`` command facade (both
+  a typed API and a string-command parser) so the privileged back-end
+  can issue the same commands the real tool receives.
+"""
+
+from repro.routing.iproute2 import IpRoute2, IpRouteError
+from repro.routing.rpdb import RoutingPolicyDatabase, Rule
+from repro.routing.table import Route, RoutingTable
+
+__all__ = [
+    "IpRoute2",
+    "IpRouteError",
+    "Route",
+    "RoutingPolicyDatabase",
+    "RoutingTable",
+    "Rule",
+]

@@ -1,0 +1,154 @@
+"""Routing tables with longest-prefix-match lookup."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.addressing import (
+    AddressLike,
+    IPv4Address,
+    IPv4Network,
+    NetworkLike,
+    ip,
+    network,
+)
+
+
+class Route:
+    """One routing-table entry.
+
+    Mirrors the fields of an ``ip route`` entry that matter here:
+    destination ``prefix``, optional gateway ``via``, output device
+    ``dev``, optional preferred source address ``src`` and a ``metric``
+    used to break ties between equal-length prefixes.
+    """
+
+    __slots__ = ("prefix", "via", "dev", "src", "metric")
+
+    def __init__(
+        self,
+        prefix: NetworkLike,
+        dev: str,
+        via: Optional[AddressLike] = None,
+        src: Optional[AddressLike] = None,
+        metric: int = 0,
+    ):
+        self.prefix: IPv4Network = network(prefix)
+        self.dev = dev
+        self.via: Optional[IPv4Address] = ip(via) if via is not None else None
+        self.src: Optional[IPv4Address] = ip(src) if src is not None else None
+        self.metric = metric
+
+    def matches(self, dst: IPv4Address) -> bool:
+        """True when ``dst`` falls inside this route's prefix."""
+        return dst in self.prefix
+
+    def key(self) -> tuple:
+        """Identity key used for replace/delete semantics."""
+        return (self.prefix, self.dev, self.via, self.metric)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Route) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts = ["default" if self.prefix.prefixlen == 0 else str(self.prefix)]
+        if self.via is not None:
+            parts.append(f"via {self.via}")
+        parts.append(f"dev {self.dev}")
+        if self.src is not None:
+            parts.append(f"src {self.src}")
+        if self.metric:
+            parts.append(f"metric {self.metric}")
+        return " ".join(parts)
+
+
+class RoutingTable:
+    """A named list of routes with longest-prefix-match lookup."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._routes: List[Route] = []
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes)
+
+    def add(self, route: Route, replace: bool = False) -> None:
+        """Install a route.
+
+        Duplicate (same prefix/dev/via/metric) installs raise unless
+        ``replace`` is set, mirroring ``ip route add`` vs ``replace``.
+        """
+        existing = [r for r in self._routes if r.key() == route.key()]
+        if existing:
+            if not replace:
+                raise ValueError(f"route already exists: {route!r}")
+            for r in existing:
+                self._routes.remove(r)
+        self._routes.append(route)
+
+    def delete(
+        self,
+        prefix: NetworkLike,
+        dev: Optional[str] = None,
+        via: Optional[AddressLike] = None,
+    ) -> None:
+        """Remove routes matching the given prefix (and dev/via if given)."""
+        target = network(prefix)
+        gateway = ip(via) if via is not None else None
+        survivors = []
+        removed = 0
+        for route in self._routes:
+            if (
+                route.prefix == target
+                and (dev is None or route.dev == dev)
+                and (gateway is None or route.via == gateway)
+            ):
+                removed += 1
+            else:
+                survivors.append(route)
+        if not removed:
+            raise ValueError(f"no such route: {prefix}")
+        self._routes = survivors
+
+    def flush(self) -> None:
+        """Remove every route."""
+        self._routes.clear()
+
+    def remove_dev(self, dev: str) -> int:
+        """Remove all routes through ``dev`` (interface went away)."""
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if r.dev != dev]
+        return before - len(self._routes)
+
+    def lookup(self, dst: AddressLike, oif: Optional[str] = None) -> Optional[Route]:
+        """Longest-prefix match; ties broken by lowest metric, then
+        most-recent install (Linux picks the first found; we keep it
+        deterministic).  ``oif`` restricts candidates to one output
+        device (the SO_BINDTODEVICE-constrained lookup)."""
+        destination = ip(dst)
+        best: Optional[Route] = None
+        for route in self._routes:
+            if not route.matches(destination):
+                continue
+            if oif is not None and route.dev != oif:
+                continue
+            if best is None:
+                best = route
+                continue
+            if route.prefix.prefixlen > best.prefix.prefixlen:
+                best = route
+            elif (
+                route.prefix.prefixlen == best.prefix.prefixlen
+                and route.metric < best.metric
+            ):
+                best = route
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RoutingTable {self.name!r} routes={len(self._routes)}>"

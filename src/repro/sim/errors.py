@@ -1,0 +1,13 @@
+"""Exceptions raised by the simulation core."""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.sim`."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class DeadSimulatorError(SimulationError):
+    """An operation was attempted on a simulator that already finished."""

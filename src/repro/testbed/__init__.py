@@ -1,0 +1,61 @@
+"""Testbed assembly: PlanetLab nodes, the Internet, the §3 scenario.
+
+- :class:`PlanetLabNode` — stack + slivers + vsys + kernel modules +
+  (optionally) the UMTS card and control plane;
+- :class:`Internet` — the forwarding core the LANs and the operator's
+  GGSN hang off;
+- :class:`OneLabScenario` — the paper's two-node setup (Napoli with
+  UMTS, INRIA wired), ready to run;
+- :func:`run_characterization` / :func:`run_repetitions` — the §3
+  experiment protocol producing figure-shaped series.
+"""
+
+from repro.testbed.experiment import (
+    DIRECTION_DOWNLINK,
+    DIRECTION_UPLINK,
+    PATH_ETHERNET,
+    PATH_UMTS,
+    ExperimentError,
+    ExperimentResult,
+    run_characterization,
+    run_repetitions,
+)
+from repro.testbed.internet import Internet
+from repro.testbed.kernel import (
+    CARD_MODULE_SETS,
+    PLANETLAB_UMTS_MODULES,
+    PPP_MODULE_SET,
+    KernelModuleRegistry,
+    ModuleError,
+)
+from repro.testbed.planetlab import PlanetLabNode
+from repro.testbed.scenarios import (
+    DEFAULT_SLICE_NAME,
+    DEFAULT_SLICE_XID,
+    INRIA_NODE_ADDR,
+    NAPOLI_NODE_ADDR,
+    OneLabScenario,
+)
+
+__all__ = [
+    "CARD_MODULE_SETS",
+    "DEFAULT_SLICE_NAME",
+    "DEFAULT_SLICE_XID",
+    "DIRECTION_DOWNLINK",
+    "DIRECTION_UPLINK",
+    "ExperimentError",
+    "ExperimentResult",
+    "INRIA_NODE_ADDR",
+    "Internet",
+    "KernelModuleRegistry",
+    "ModuleError",
+    "NAPOLI_NODE_ADDR",
+    "OneLabScenario",
+    "PATH_ETHERNET",
+    "PATH_UMTS",
+    "PLANETLAB_UMTS_MODULES",
+    "PPP_MODULE_SET",
+    "PlanetLabNode",
+    "run_characterization",
+    "run_repetitions",
+]

@@ -1,0 +1,183 @@
+"""ITGDec — turning packet logs into the paper's QoS series.
+
+Every quantity is reported exactly the way §3.1 describes: "samples
+[...] represent the average values calculated over non-overlapping
+windows of 200 milliseconds":
+
+- **bitrate** — payload bits delivered per window (kbit/s), binned by
+  arrival time;
+- **jitter** — mean absolute one-way-delay variation between
+  consecutive arrivals in the window (seconds);
+- **loss** — packets sent in the window that never arrived (pkt/window,
+  binned by send time, matching the figure's "Packet loss [pkt/200ms]"
+  axis);
+- **RTT** — mean round-trip time of the probes sent in the window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional
+
+from repro.sim.monitor import TimeSeries
+from repro.traffic.records import ReceiverLog, SenderLog
+
+DEFAULT_WINDOW = 0.2
+
+
+class FlowSummary(NamedTuple):
+    """End-of-run totals for one flow."""
+
+    packets_sent: int
+    packets_received: int
+    packets_lost: int
+    loss_fraction: float
+    mean_bitrate_kbps: float
+    mean_owd: float
+    max_owd: float
+    mean_jitter: float
+    max_jitter: float
+    mean_rtt: float
+    max_rtt: float
+    duration: float
+
+
+class ItgDecoder:
+    """Decode one flow's sender+receiver logs."""
+
+    def __init__(
+        self,
+        sender_log: SenderLog,
+        receiver_log: ReceiverLog,
+        window: float = DEFAULT_WINDOW,
+    ):
+        if sender_log.flow_id != receiver_log.flow_id:
+            raise ValueError(
+                f"flow id mismatch: sender {sender_log.flow_id} vs "
+                f"receiver {receiver_log.flow_id}"
+            )
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.sender_log = sender_log
+        self.receiver_log = receiver_log
+        self.window = window
+
+    # -- time origin -----------------------------------------------------
+
+    @property
+    def origin(self) -> float:
+        """Time axis zero: the first transmission."""
+        if not self.sender_log.sent:
+            return 0.0
+        return self.sender_log.sent[0].sent_at
+
+    @property
+    def send_end(self) -> float:
+        """End of the generation phase (last transmission)."""
+        if not self.sender_log.sent:
+            return 0.0
+        return self.sender_log.sent[-1].sent_at
+
+    def _span(self, end: Optional[float]) -> float:
+        if end is not None:
+            return end
+        last_arrival = (
+            self.receiver_log.received[-1].received_at
+            if self.receiver_log.received
+            else self.send_end
+        )
+        return max(self.send_end, last_arrival) + self.window
+
+    # -- series ---------------------------------------------------------
+
+    def _arrivals(self):
+        """Received records in arrival order (logs may interleave)."""
+        return sorted(self.receiver_log.received, key=lambda r: r.received_at)
+
+    def bitrate_kbps(self, end: Optional[float] = None) -> TimeSeries:
+        """Received payload bitrate per window, in kbit/s."""
+        raw = TimeSeries("bitrate")
+        for record in self._arrivals():
+            raw.add(record.received_at - self.origin, record.size * 8.0)
+        series = raw.window_sum(self.window, start=0.0, end=self._span(end) - self.origin)
+        out = TimeSeries("bitrate_kbps")
+        for t, bits in series.as_pairs():
+            out.add(t, bits / self.window / 1000.0)
+        return out
+
+    def owd_series(self, end: Optional[float] = None) -> TimeSeries:
+        """Mean one-way delay per window, in seconds."""
+        raw = TimeSeries("owd")
+        for record in self._arrivals():
+            raw.add(record.received_at - self.origin, record.owd)
+        return raw.window_average(
+            self.window, start=0.0, end=self._span(end) - self.origin
+        )
+
+    def jitter_series(self, end: Optional[float] = None) -> TimeSeries:
+        """Mean |OWD variation| between consecutive arrivals, per window."""
+        raw = TimeSeries("jitter")
+        previous_owd = None
+        for record in self._arrivals():
+            if previous_owd is not None:
+                raw.add(record.received_at - self.origin, abs(record.owd - previous_owd))
+            previous_owd = record.owd
+        return raw.window_average(
+            self.window, start=0.0, end=self._span(end) - self.origin
+        )
+
+    def loss_series(self, end: Optional[float] = None) -> TimeSeries:
+        """Packets lost per window (binned by send time)."""
+        raw = TimeSeries("loss")
+        for record in sorted(self.sender_log.sent, key=lambda r: r.sent_at):
+            lost = 0.0 if self.receiver_log.has_seq(record.seq) else 1.0
+            raw.add(record.sent_at - self.origin, lost)
+        return raw.window_sum(
+            self.window, start=0.0, end=self.send_end - self.origin + self.window
+        )
+
+    def rtt_series(self, end: Optional[float] = None) -> TimeSeries:
+        """Mean RTT per window (binned by probe send time), seconds."""
+        raw = TimeSeries("rtt")
+        samples = sorted(
+            (record.completed_at - record.rtt, record.rtt)
+            for record in self.sender_log.rtt
+        )
+        for sent_at, rtt in samples:
+            raw.add(sent_at - self.origin, rtt)
+        return raw.window_average(
+            self.window, start=0.0, end=self.send_end - self.origin + self.window
+        )
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> FlowSummary:
+        """End-of-run aggregate statistics."""
+        sent = self.sender_log.packets_sent
+        received = self.receiver_log.packets_received
+        lost = sent - received
+        owds = [r.owd for r in self._arrivals()]
+        jitters = []
+        for before, after in zip(owds, owds[1:]):
+            jitters.append(abs(after - before))
+        rtts = [r.rtt for r in self.sender_log.rtt]
+        span = self.send_end - self.origin
+        total_bits = self.receiver_log.bytes_received * 8.0
+        return FlowSummary(
+            packets_sent=sent,
+            packets_received=received,
+            packets_lost=lost,
+            loss_fraction=(lost / sent) if sent else math.nan,
+            mean_bitrate_kbps=(total_bits / span / 1000.0) if span > 0 else math.nan,
+            mean_owd=_mean(owds),
+            max_owd=max(owds) if owds else math.nan,
+            mean_jitter=_mean(jitters),
+            max_jitter=max(jitters) if jitters else math.nan,
+            mean_rtt=_mean(rtts),
+            max_rtt=max(rtts) if rtts else math.nan,
+            duration=span,
+        )
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values) if values else math.nan

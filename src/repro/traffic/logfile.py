@@ -1,0 +1,119 @@
+"""Packet-log files — the D-ITG workflow's artifact.
+
+§3.1: "After the traffic generations ended, we retrieved the log files
+from the two nodes and we analyzed them by means of ITGDec."  These
+helpers serialize :class:`SenderLog`/:class:`ReceiverLog` to a simple
+line format and load them back, so the decode step can run offline on
+saved artifacts exactly like ITGDec does — and two runs can be diffed
+at the packet level.
+
+Timestamps are written with ``repr`` so floats round-trip exactly.
+Format (one record per line)::
+
+    # itg-sender-log flow=1 name=voip-g711
+    S <seq> <size> <sent_at>
+    R <seq> <rtt> <completed_at>      # RTT samples in sender logs
+    E <count>                         # send errors
+    # itg-receiver-log flow=1
+    P <seq> <size> <sent_at> <received_at>
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+from repro.traffic.records import (
+    ReceiverLog,
+    RecvRecord,
+    RttRecord,
+    SenderLog,
+    SentRecord,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+
+class LogFormatError(Exception):
+    """The file is not a recognisable ITG log."""
+
+
+def save_sender_log(log: SenderLog, path: PathLike) -> pathlib.Path:
+    """Write a sender log; returns the path."""
+    target = pathlib.Path(path)
+    lines = [f"# itg-sender-log flow={log.flow_id} name={log.name}"]
+    for record in log.sent:
+        lines.append(f"S {record.seq} {record.size} {record.sent_at!r}")
+    for record in log.rtt:
+        lines.append(f"R {record.seq} {record.rtt!r} {record.completed_at!r}")
+    lines.append(f"E {log.send_errors}")
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def load_sender_log(path: PathLike) -> SenderLog:
+    """Read back a file written by :func:`save_sender_log`."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("# itg-sender-log"):
+        raise LogFormatError(f"{path}: not a sender log")
+    header = dict(
+        part.split("=", 1) for part in lines[0].split()[2:] if "=" in part
+    )
+    log = SenderLog(int(header.get("flow", 0)), header.get("name", ""))
+    for line in lines[1:]:
+        fields = line.split()
+        if not fields or fields[0] == "#":
+            continue
+        if fields[0] == "S":
+            log.sent.append(
+                SentRecord(int(fields[1]), int(fields[2]), float(fields[3]))
+            )
+        elif fields[0] == "R":
+            log.rtt.append(
+                RttRecord(int(fields[1]), float(fields[2]), float(fields[3]))
+            )
+        elif fields[0] == "E":
+            log.send_errors = int(fields[1])
+        else:
+            raise LogFormatError(f"{path}: bad record {line!r}")
+    return log
+
+
+def save_receiver_log(log: ReceiverLog, path: PathLike) -> pathlib.Path:
+    """Write a receiver log; returns the path."""
+    target = pathlib.Path(path)
+    lines = [f"# itg-receiver-log flow={log.flow_id} name={log.name}"]
+    for record in log.received:
+        lines.append(
+            f"P {record.seq} {record.size} {record.sent_at!r} "
+            f"{record.received_at!r}"
+        )
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def load_receiver_log(path: PathLike) -> ReceiverLog:
+    """Read back a file written by :func:`save_receiver_log`."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("# itg-receiver-log"):
+        raise LogFormatError(f"{path}: not a receiver log")
+    header = dict(
+        part.split("=", 1) for part in lines[0].split()[2:] if "=" in part
+    )
+    log = ReceiverLog(int(header.get("flow", 0)), header.get("name", ""))
+    for line in lines[1:]:
+        fields = line.split()
+        if not fields or fields[0] == "#":
+            continue
+        if fields[0] == "P":
+            log.add(
+                RecvRecord(
+                    int(fields[1]),
+                    int(fields[2]),
+                    float(fields[3]),
+                    float(fields[4]),
+                )
+            )
+        else:
+            raise LogFormatError(f"{path}: bad record {line!r}")
+    return log

@@ -1,0 +1,60 @@
+"""ITGRecv — the traffic receiver."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.errors import NetworkError
+from repro.net.socket import UDPSocket
+from repro.sim.engine import Simulator
+from repro.traffic.records import ProbePayload, ReceiverLog, RecvRecord
+
+
+class ItgReceiver:
+    """The receiving endpoint for any number of flows on one port.
+
+    Keeps one :class:`ReceiverLog` per flow id and echoes RTT-metered
+    probes back to the sender (same payload size, ``kind="reply"``),
+    which is how D-ITG closes the RTT measurement loop.
+    """
+
+    def __init__(self, sim: Simulator, socket: UDPSocket, port: int = 8999):
+        self.sim = sim
+        self.socket = socket
+        if socket.port == 0:
+            socket.bind(port=port)
+        socket.on_receive = self._on_receive
+        self.logs: Dict[int, ReceiverLog] = {}
+        self.reply_errors = 0
+        self.unknown_payloads = 0
+
+    def log_for(self, flow_id: int) -> ReceiverLog:
+        """The (created-on-demand) log of one flow."""
+        if flow_id not in self.logs:
+            self.logs[flow_id] = ReceiverLog(flow_id)
+        return self.logs[flow_id]
+
+    def _on_receive(self, payload, src, sport, packet) -> None:
+        if not isinstance(payload, ProbePayload) or payload.kind != "probe":
+            self.unknown_payloads += 1
+            return
+        log = self.log_for(payload.flow_id)
+        log.add(
+            RecvRecord(
+                seq=payload.seq,
+                size=packet.size,
+                sent_at=packet.sent_at,
+                received_at=self.sim.now,
+            )
+        )
+        if payload.meter == "rtt":
+            reply = ProbePayload(payload.flow_id, payload.seq, kind="reply")
+            try:
+                self.socket.sendto(reply, packet.size, src, sport)
+            except NetworkError:
+                self.reply_errors += 1
+
+    @property
+    def total_received(self) -> int:
+        """Packets received across all flows."""
+        return sum(log.packets_received for log in self.logs.values())

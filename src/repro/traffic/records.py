@@ -1,0 +1,109 @@
+"""Packet logs — what ITGSend and ITGRecv write to disk in real D-ITG."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class ProbePayload:
+    """The payload of every generated packet.
+
+    Carries what D-ITG puts in its header: flow id, sequence number,
+    and the metering mode (so the receiver knows whether to echo).
+    ``kind`` distinguishes probes from RTT echo replies.
+    """
+
+    __slots__ = ("flow_id", "seq", "kind", "meter")
+
+    def __init__(self, flow_id: int, seq: int, kind: str = "probe", meter: str = "owd"):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.kind = kind
+        self.meter = meter
+
+    def __repr__(self) -> str:
+        return f"<Probe flow={self.flow_id} seq={self.seq} {self.kind}>"
+
+
+class SentRecord(NamedTuple):
+    """One transmitted packet, as the sender's log records it."""
+
+    seq: int
+    size: int
+    sent_at: float
+
+
+class RecvRecord(NamedTuple):
+    """One received packet: sizes and both timestamps (OWD = delta)."""
+
+    seq: int
+    size: int
+    sent_at: float
+    received_at: float
+
+    @property
+    def owd(self) -> float:
+        """One-way delay (exact — simulation clocks are common)."""
+        return self.received_at - self.sent_at
+
+
+class RttRecord(NamedTuple):
+    """One completed RTT measurement at the sender."""
+
+    seq: int
+    rtt: float
+    completed_at: float
+
+
+class SenderLog:
+    """ITGSend's log for one flow."""
+
+    def __init__(self, flow_id: int, name: str = ""):
+        self.flow_id = flow_id
+        self.name = name
+        self.sent: List[SentRecord] = []
+        self.rtt: List[RttRecord] = []
+        self.send_errors = 0
+
+    @property
+    def packets_sent(self) -> int:
+        """Number of successfully handed-off packets."""
+        return len(self.sent)
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total payload bytes offered."""
+        return sum(r.size for r in self.sent)
+
+
+class ReceiverLog:
+    """ITGRecv's log for one flow."""
+
+    def __init__(self, flow_id: int, name: str = ""):
+        self.flow_id = flow_id
+        self.name = name
+        self.received: List[RecvRecord] = []
+        self._seen = set()
+        self.duplicates = 0
+
+    def add(self, record: RecvRecord) -> None:
+        """Record an arrival, tracking duplicates by sequence number."""
+        if record.seq in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(record.seq)
+        self.received.append(record)
+
+    def has_seq(self, seq: int) -> bool:
+        """Whether the sequence number arrived."""
+        return seq in self._seen
+
+    @property
+    def packets_received(self) -> int:
+        """Number of distinct packets that arrived."""
+        return len(self.received)
+
+    @property
+    def bytes_received(self) -> int:
+        """Total payload bytes delivered."""
+        return sum(r.size for r in self.received)

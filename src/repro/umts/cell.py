@@ -1,0 +1,71 @@
+"""The radio cell (NodeB) a modem camps on."""
+
+from __future__ import annotations
+
+import random as _random
+from typing import TYPE_CHECKING, Optional
+
+from repro.modem.device import RegistrationStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.umts.operator import UmtsOperator
+
+
+class UmtsCell:
+    """One cell: registration behaviour and signal quality.
+
+    This is the object a :class:`~repro.modem.device.Modem3G` is
+    plugged into; it satisfies the modem's NetworkAttachment duck-type
+    and forwards data-call setup to the operator's core network.
+    """
+
+    def __init__(
+        self,
+        operator: "UmtsOperator",
+        name: str = "cell-0",
+        base_csq: int = 18,
+        csq_spread: int = 4,
+        search_time_min: float = 2.0,
+        search_time_max: float = 8.0,
+        roaming: bool = False,
+        deny_registration: bool = False,
+    ):
+        self.operator = operator
+        self.name = name
+        self.base_csq = base_csq
+        self.csq_spread = csq_spread
+        self.search_time_min = search_time_min
+        self.search_time_max = search_time_max
+        self.roaming = roaming
+        self.deny_registration = deny_registration
+        self.attached_modems = 0
+
+    @property
+    def operator_name(self) -> str:
+        """Operator display name (for ``AT+COPS?``)."""
+        return self.operator.name
+
+    def registration_delay(self, rng: _random.Random) -> float:
+        """How long the network search takes for this attach."""
+        return rng.uniform(self.search_time_min, self.search_time_max)
+
+    def registration_result(self, modem) -> RegistrationStatus:
+        """Outcome of the registration attempt."""
+        if self.deny_registration:
+            return RegistrationStatus.DENIED
+        self.attached_modems += 1
+        if self.roaming:
+            return RegistrationStatus.REGISTERED_ROAMING
+        return RegistrationStatus.REGISTERED_HOME
+
+    def signal_quality(self, rng: _random.Random) -> int:
+        """``AT+CSQ`` RSSI indicator, 0..31."""
+        value = self.base_csq + rng.randint(-self.csq_spread, self.csq_spread)
+        return max(0, min(31, value))
+
+    def open_data_call(self, modem, apn: Optional[str] = None):
+        """PDP context activation: delegate to the operator core."""
+        return self.operator.open_data_call(modem, apn=apn, cell=self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UmtsCell {self.name} of {self.operator.name!r}>"

@@ -1,0 +1,120 @@
+"""One active PDP context / PPP data call.
+
+A :class:`DataCall` glues four things together:
+
+- the **uplink radio channel** (RLC queue + serialization at the
+  current RAB grade + transport-network delay/jitter);
+- the **downlink radio channel**;
+- the **RAB controller** adjusting the uplink grade on demand;
+- the **GGSN-side pppd** terminating the session and injecting the
+  mobile's packets into the operator's core network.
+
+The modem holds the call and relays PPP frames to/from the serial
+port; the GGSN routes downlink IP to the session interface, whose
+transmit path is the downlink channel here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.link import Channel
+from repro.ppp.frame import PPP_IP, PPPFrame
+
+
+class _SessionTransport:
+    """The GGSN pppd's frame transport: downlink out, uplink in."""
+
+    def __init__(self, call: "DataCall"):
+        self._call = call
+        self.receiver: Optional[Callable[[PPPFrame], None]] = None
+
+    def set_receiver(self, callback: Callable[[PPPFrame], None]) -> None:
+        self.receiver = callback
+
+    def send_frame(self, frame: PPPFrame) -> None:
+        self._call.downlink.send(frame)
+
+
+class DataCall:
+    """An active data session between one modem and the GGSN."""
+
+    def __init__(
+        self,
+        sim,
+        uplink: Channel,
+        downlink: Channel,
+        rab_controller,
+        operator,
+        assigned_address,
+    ):
+        self.sim = sim
+        self.uplink = uplink
+        self.downlink = downlink
+        self.rab = rab_controller
+        self.operator = operator
+        self.assigned_address = assigned_address
+        self.server_pppd = None  # set by the operator right after creation
+        self.transport = _SessionTransport(self)
+        self._modem_downlink: Optional[Callable[[PPPFrame], None]] = None
+        self._on_drop: Optional[Callable[[str], None]] = None
+        self.active = True
+        self.started_at = sim.now
+        self.uplink_frames = 0
+        self.downlink_frames = 0
+        uplink._deliver = self._uplink_deliver
+        downlink._deliver = self._downlink_deliver
+
+    # -- modem-facing API ------------------------------------------------
+
+    @property
+    def advertised_rate_bps(self) -> float:
+        """The rate the CONNECT message announces (downlink rate)."""
+        return self.downlink.rate_bps
+
+    def send_uplink(self, frame: PPPFrame) -> None:
+        """Modem → network.  Drops count against the RLC queue."""
+        if not self.active:
+            return
+        self.uplink.send(frame)
+
+    def set_downlink(self, callback: Callable[[PPPFrame], None]) -> None:
+        """Register the modem's downlink frame handler."""
+        self._modem_downlink = callback
+
+    def set_on_drop(self, callback: Callable[[str], None]) -> None:
+        """Register the modem's network-hangup notification."""
+        self._on_drop = callback
+
+    def hangup(self, reason: str = "mobile hangup") -> None:
+        """Terminate the session from the mobile side."""
+        self.operator.close_data_call(self, reason)
+
+    # -- network-internal ---------------------------------------------------
+
+    def _uplink_deliver(self, frame: PPPFrame) -> None:
+        if not self.active:
+            return
+        self.uplink_frames += 1
+        if frame.protocol == PPP_IP:
+            self.operator.ggsn.record_flow(
+                frame.payload.src, frame.payload.dst, self.sim.now
+            )
+        if self.transport.receiver is not None:
+            self.transport.receiver(frame)
+
+    def _downlink_deliver(self, frame: PPPFrame) -> None:
+        if not self.active:
+            return
+        self.downlink_frames += 1
+        if self._modem_downlink is not None:
+            self._modem_downlink(frame)
+
+    def network_drop(self, reason: str) -> None:
+        """Called by the operator when the network ends the session."""
+        if self._on_drop is not None:
+            self._on_drop(reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "closed"
+        return f"<DataCall {self.assigned_address} {state}>"

@@ -1,0 +1,32 @@
+"""Linux-VServer slice model.
+
+PlanetLab virtualizes nodes with Linux VServer: each slice gets a
+*security context* identified by an integer ``xid``, soft-partitioned
+from the others.  Slices have very limited privileges — in particular
+they cannot manipulate routing tables, netfilter, or PPP daemons,
+which is the whole reason the paper needs vsys.
+
+This package models the pieces that matter:
+
+- :class:`SecurityContext` — the xid and the privilege boundary;
+- :class:`Slice` / :class:`Sliver` — a named experiment and its
+  per-node instantiation, which can create (xid-tagged) sockets and
+  talk to vsys, and nothing more;
+- VNET+ semantics — every socket a sliver creates tags its packets
+  with the sliver's xid (see :mod:`repro.vserver.vnet`).
+"""
+
+from repro.vserver.bwlimit import SliceBandwidthLimiter, TokenBucket
+from repro.vserver.context import ROOT_CONTEXT, SecurityContext
+from repro.vserver.slice import Slice, Sliver
+from repro.vserver.vnet import VnetPlus
+
+__all__ = [
+    "ROOT_CONTEXT",
+    "SecurityContext",
+    "Slice",
+    "SliceBandwidthLimiter",
+    "Sliver",
+    "TokenBucket",
+    "VnetPlus",
+]

@@ -1,0 +1,147 @@
+"""Per-slice bandwidth limiting — PlanetLab's ``bwlimit`` subsystem.
+
+Real PlanetLab nodes cap each slice's outbound bandwidth with an HTB
+class per VServer context on ``eth0``.  That machinery interacts with
+the paper's work in one important way: it is xid-keyed, like the VNET+
+marking, and it is one more reason the low-bandwidth UMTS interface
+needs its own dedicated policy (one slice, no sharing) instead of the
+wired interface's per-slice shaping.
+
+:class:`SliceBandwidthLimiter` reproduces the shaping behaviour: a
+token bucket per slice, a FIFO holding packets that arrive while the
+bucket is empty, and drops once that queue overflows.  Root-context
+traffic (xid 0) bypasses the limiter, as node management traffic does
+on PlanetLab.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.net.packet import ROOT_XID, Packet
+from repro.sim.engine import Simulator
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate_bps`` refill, ``burst_bytes`` depth."""
+
+    def __init__(self, sim: Simulator, rate_bps: float, burst_bytes: int):
+        if rate_bps <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill = sim.now
+
+    def _refill(self) -> None:
+        elapsed = self.sim.now - self._last_refill
+        self._last_refill = self.sim.now
+        self._tokens = min(
+            self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0
+        )
+
+    def try_consume(self, size_bytes: int) -> bool:
+        """Take ``size_bytes`` of tokens if available."""
+        self._refill()
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def time_until(self, size_bytes: int) -> float:
+        """Seconds until ``size_bytes`` of tokens will be available."""
+        self._refill()
+        deficit = size_bytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps
+
+
+class SliceBandwidthLimiter:
+    """HTB-style egress shaping, one class per slice xid.
+
+    Packets from a limited slice that exceed its rate are queued (up to
+    ``queue_bytes`` per slice) and released as tokens accrue; overflow
+    is dropped.  ``set_limit`` mirrors PlanetLab's per-slice cap knob.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transmit: Callable[[Packet], None],
+        default_rate_bps: float = 10_000_000.0,
+        default_burst_bytes: int = 100_000,
+        queue_bytes: int = 200_000,
+    ):
+        self.sim = sim
+        self.transmit = transmit
+        self.default_rate_bps = default_rate_bps
+        self.default_burst_bytes = default_burst_bytes
+        self.queue_bytes = queue_bytes
+        self._buckets: Dict[int, TokenBucket] = {}
+        self._queues: Dict[int, Deque[Packet]] = {}
+        self._queued_bytes: Dict[int, int] = {}
+        self._draining: Dict[int, bool] = {}
+        self._limits: Dict[int, Tuple[float, int]] = {}
+        self.shaped_packets = 0
+        self.dropped_packets = 0
+
+    def set_limit(self, xid: int, rate_bps: float, burst_bytes: Optional[int] = None) -> None:
+        """Configure one slice's cap (replacing its bucket)."""
+        burst = burst_bytes if burst_bytes is not None else self.default_burst_bytes
+        self._limits[xid] = (rate_bps, burst)
+        self._buckets[xid] = TokenBucket(self.sim, rate_bps, burst)
+
+    def limit_of(self, xid: int) -> Tuple[float, int]:
+        """The (rate, burst) in force for a slice."""
+        return self._limits.get(
+            xid, (self.default_rate_bps, self.default_burst_bytes)
+        )
+
+    def _bucket(self, xid: int) -> TokenBucket:
+        if xid not in self._buckets:
+            rate, burst = self.limit_of(xid)
+            self._buckets[xid] = TokenBucket(self.sim, rate, burst)
+        return self._buckets[xid]
+
+    def send(self, packet: Packet) -> None:
+        """Shape one packet (root-context traffic passes through)."""
+        if packet.xid == ROOT_XID:
+            self.transmit(packet)
+            return
+        xid = packet.xid
+        queue = self._queues.setdefault(xid, deque())
+        if not queue and self._bucket(xid).try_consume(packet.length):
+            self.transmit(packet)
+            return
+        if self._queued_bytes.get(xid, 0) + packet.length > self.queue_bytes:
+            self.dropped_packets += 1
+            return
+        queue.append(packet)
+        self._queued_bytes[xid] = self._queued_bytes.get(xid, 0) + packet.length
+        self.shaped_packets += 1
+        if not self._draining.get(xid, False):
+            self._schedule_drain(xid)
+
+    def _schedule_drain(self, xid: int) -> None:
+        queue = self._queues[xid]
+        if not queue:
+            self._draining[xid] = False
+            return
+        self._draining[xid] = True
+        wait = self._bucket(xid).time_until(queue[0].length)
+        self.sim.schedule(max(wait, 1e-9), self._drain_one, xid)
+
+    def _drain_one(self, xid: int) -> None:
+        queue = self._queues[xid]
+        if queue and self._bucket(xid).try_consume(queue[0].length):
+            packet = queue.popleft()
+            self._queued_bytes[xid] -= packet.length
+            self.transmit(packet)
+        self._schedule_drain(xid)
+
+    def backlog_bytes(self, xid: int) -> int:
+        """Bytes currently shaped for a slice."""
+        return self._queued_bytes.get(xid, 0)

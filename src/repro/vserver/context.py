@@ -1,0 +1,43 @@
+"""VServer security contexts."""
+
+from __future__ import annotations
+
+from repro.net.errors import PermissionDeniedError
+from repro.net.packet import ROOT_XID
+
+
+class SecurityContext:
+    """One VServer security context (an ``xid``).
+
+    xid 0 is the root context; everything else is an unprivileged
+    slice context.  :meth:`require_root` is the guard privileged
+    operations call — inside a slice it raises
+    :class:`PermissionDeniedError`, which is exactly the failure the
+    paper's vsys mechanism exists to work around.
+    """
+
+    def __init__(self, xid: int, name: str = ""):
+        if xid < 0:
+            raise ValueError(f"xid must be non-negative, got {xid!r}")
+        self.xid = xid
+        self.name = name or (f"ctx-{xid}" if xid else "root")
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the privileged root context."""
+        return self.xid == ROOT_XID
+
+    def require_root(self, operation: str) -> None:
+        """Raise unless this context is root."""
+        if not self.is_root:
+            raise PermissionDeniedError(
+                f"{operation}: not permitted in slice context {self.name!r} "
+                f"(xid {self.xid})"
+            )
+
+    def __repr__(self) -> str:
+        return f"<SecurityContext {self.name!r} xid={self.xid}>"
+
+
+#: The singleton-ish root context (fresh instances compare by xid anyway).
+ROOT_CONTEXT = SecurityContext(ROOT_XID, "root")

@@ -1,0 +1,122 @@
+"""Slices and slivers.
+
+A *slice* is a network-wide experiment container; a *sliver* is its
+virtual machine on one node.  The capabilities a sliver exposes are
+deliberately the only ones PlanetLab grants: create sockets (tagged
+with the slice xid by VNET+), resolve its own name/xid, and open vsys
+connections.  Privileged objects (the node's iptables/ip facades, the
+modem, pppd) are simply *not reachable* from a sliver; the explicit
+guard methods raise :class:`PermissionDeniedError` so tests can assert
+the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.net.errors import PermissionDeniedError
+from repro.net.icmp import Pinger
+from repro.net.socket import UDPSocket
+from repro.vserver.context import SecurityContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import IPStack
+    from repro.vsys.daemon import VsysConnection, VsysDaemon
+
+
+class Slice:
+    """A PlanetLab slice: a name, an xid, and its slivers."""
+
+    def __init__(self, name: str, xid: int):
+        if xid <= 0:
+            raise ValueError(f"slice xid must be positive, got {xid!r}")
+        self.name = name
+        self.context = SecurityContext(xid, name)
+        self.slivers: Dict[str, "Sliver"] = {}
+
+    @property
+    def xid(self) -> int:
+        """The slice's VServer context id."""
+        return self.context.xid
+
+    def sliver_on(self, node_name: str) -> "Sliver":
+        """The sliver instantiated on ``node_name``."""
+        return self.slivers[node_name]
+
+    def __repr__(self) -> str:
+        return f"<Slice {self.name!r} xid={self.xid} slivers={sorted(self.slivers)}>"
+
+
+class Sliver:
+    """A slice's virtual machine on one node.
+
+    Constructed by the node (see
+    :meth:`repro.testbed.planetlab.PlanetLabNode.create_sliver`), which
+    wires in the stack's VNET+ socket factory and the vsys daemon.
+    """
+
+    def __init__(
+        self,
+        slice_: Slice,
+        node_name: str,
+        stack: "IPStack",
+        vsys: "VsysDaemon",
+    ):
+        self.slice = slice_
+        self.node_name = node_name
+        self._stack = stack
+        self._vsys = vsys
+        self.sockets: List[UDPSocket] = []
+        slice_.slivers[node_name] = self
+
+    @property
+    def name(self) -> str:
+        """The slice name (what vsys ACLs key on)."""
+        return self.slice.name
+
+    @property
+    def xid(self) -> int:
+        """The context id stamped into this sliver's packets."""
+        return self.slice.xid
+
+    @property
+    def context(self) -> SecurityContext:
+        """This sliver's security context."""
+        return self.slice.context
+
+    # -- the capabilities a slice actually has -------------------------
+
+    def socket(self) -> UDPSocket:
+        """Create a UDP socket tagged with this slice's xid."""
+        sock = UDPSocket(self._stack, xid=self.xid)
+        self.sockets.append(sock)
+        return sock
+
+    def pinger(self, **kwargs) -> Pinger:
+        """An ICMP echo client running inside the slice."""
+        return Pinger(self._stack, xid=self.xid, **kwargs)
+
+    def vsys_open(self, script_name: str) -> "VsysConnection":
+        """Open the vsys FIFO pair for ``script_name``.
+
+        Raises :class:`~repro.vsys.daemon.VsysError` when the script
+        does not exist or this slice is not in its ACL.
+        """
+        return self._vsys.open(self.name, script_name)
+
+    # -- the privilege boundary -----------------------------------------
+
+    def iptables(self, *_args, **_kwargs) -> None:
+        """Slices may not touch netfilter directly."""
+        self.context.require_root("iptables")
+
+    def ip_route(self, *_args, **_kwargs) -> None:
+        """Slices may not touch the routing tables directly."""
+        self.context.require_root("ip route")
+
+    def pppd(self, *_args, **_kwargs) -> None:
+        """Slices may not run pppd."""
+        self.context.require_root("pppd")
+
+    def __repr__(self) -> str:
+        return f"<Sliver {self.name!r}@{self.node_name} xid={self.xid}>"

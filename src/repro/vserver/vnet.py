@@ -1,0 +1,41 @@
+"""VNET+ — slice-aware packet tagging.
+
+PlanetLab's VNET+ kernel subsystem associates every packet with the
+VServer context that generated it and exposes that association to
+iptables (the ``xid`` match).  In the simulation the tagging lives in
+:class:`VnetPlus`, the socket factory slivers go through: every socket
+it hands out stamps its context's xid into the packets it sends, and
+:class:`~repro.netfilter.matches.XidMatch` reads it back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.net.socket import UDPSocket
+from repro.vserver.context import SecurityContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import IPStack
+
+
+class VnetPlus:
+    """The socket factory enforcing slice tagging on one node."""
+
+    def __init__(self, stack: "IPStack"):
+        self.stack = stack
+        self.sockets_created = 0
+
+    def socket(self, context: SecurityContext) -> UDPSocket:
+        """Create a UDP socket whose packets carry ``context``'s xid."""
+        self.sockets_created += 1
+        return UDPSocket(self.stack, xid=context.xid)
+
+    def sockets_of(self, xid: int) -> List[UDPSocket]:
+        """Sockets currently bound on the stack for context ``xid``."""
+        found = []
+        for holders in self.stack._udp_ports.values():
+            for sock in holders:
+                if sock.xid == xid:
+                    found.append(sock)
+        return found

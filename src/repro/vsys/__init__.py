@@ -1,0 +1,24 @@
+"""vsys — privileged command execution from inside slices.
+
+vsys (Bhatia et al., used on PlanetLab) lets a slice run a vetted
+program with root privileges: for each (script, slice) pair it creates
+a pair of FIFO pipes; the slice-side *front-end* writes a request into
+one pipe, a root-context *back-end* executes it and writes the result
+into the other.  Access is controlled by per-script ACLs listing the
+slices allowed to open the pipes.
+
+This package reproduces that shape exactly:
+
+- :class:`FifoPair` — the two pipes, built on simulation stores;
+- :class:`VsysDaemon` — script registry + ACLs + back-end spawning;
+- :class:`VsysConnection` — the slice side: ``call(argv)`` returns a
+  simulation process completing with a :class:`VsysResult`.
+
+The paper's ``umts`` command (:mod:`repro.core`) is registered as one
+of these scripts.
+"""
+
+from repro.vsys.daemon import VsysConnection, VsysDaemon, VsysError, VsysResult
+from repro.vsys.pipes import FifoPair
+
+__all__ = ["FifoPair", "VsysConnection", "VsysDaemon", "VsysError", "VsysResult"]

@@ -1,0 +1,181 @@
+"""The vsys daemon: script registry, ACLs and back-end execution."""
+
+from __future__ import annotations
+
+import inspect
+import shlex
+from typing import Callable, Dict, List, NamedTuple, Set
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, spawn
+from repro.vsys.pipes import EOF, FifoPair
+
+
+class VsysError(Exception):
+    """Script unknown, ACL denial, or protocol misuse."""
+
+
+class VsysResult(NamedTuple):
+    """Outcome of one vsys request: exit code plus output lines."""
+
+    code: int
+    lines: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True for exit code 0."""
+        return self.code == 0
+
+    @property
+    def text(self) -> str:
+        """The output joined into one string."""
+        return "\n".join(self.lines)
+
+
+#: A back-end handler: ``handler(slice_name, argv)``.  It may be a plain
+#: function returning ``(code, lines)`` or a generator (a simulation
+#: process body) returning the same — dialing a modem takes simulated
+#: time, so the umts back-end is a generator.
+Handler = Callable[[str, List[str]], object]
+
+_EXIT_SENTINEL = "__vsys_exit__"
+
+
+class VsysConnection:
+    """The slice-side endpoint of one (script, slice) FIFO pair."""
+
+    def __init__(self, sim: Simulator, pipe: FifoPair, script: str, slice_name: str):
+        self._sim = sim
+        self.pipe = pipe
+        self.script = script
+        self.slice_name = slice_name
+        self._busy = False
+        self.closed = False
+
+    def call(self, argv: List[str]) -> Process:
+        """Issue one request; returns a process yielding a :class:`VsysResult`.
+
+        Requests are serialized per connection — real FIFOs interleave
+        bytes otherwise — so concurrent calls raise :class:`VsysError`.
+        """
+        if self.closed:
+            raise VsysError(f"connection to {self.script!r} is closed")
+        if self._busy:
+            raise VsysError(f"connection to {self.script!r} is busy")
+        line = " ".join(shlex.quote(arg) for arg in argv)
+
+        def frontend():
+            self._busy = True
+            try:
+                self.pipe.to_backend.put(line)
+                lines: List[str] = []
+                while True:
+                    item = yield self.pipe.to_frontend.get()
+                    if isinstance(item, tuple) and item[0] == _EXIT_SENTINEL:
+                        return VsysResult(item[1], lines)
+                    lines.append(item)
+            finally:
+                self._busy = False
+
+        return spawn(self._sim, frontend(), name=f"vsys-call:{self.script}")
+
+    def call_blocking(self, argv: List[str]) -> VsysResult:
+        """Test/example convenience: issue a call and run the simulator
+        until it completes.  Must not be used from inside a running
+        simulation — yield on :meth:`call`'s process there instead."""
+        process = self.call(argv)
+        while process.alive:
+            if not self._sim.step():
+                raise VsysError(f"vsys call {argv!r} deadlocked (no pending events)")
+        return process.value
+
+    def close(self) -> None:
+        """Close the FIFO pair; the back-end exits."""
+        self.closed = True
+        self.pipe.close()
+
+
+class VsysDaemon:
+    """Script registry plus per-script ACLs for one node."""
+
+    def __init__(self, sim: Simulator, node_name: str = ""):
+        self._sim = sim
+        self.node_name = node_name
+        self._scripts: Dict[str, Handler] = {}
+        self._acls: Dict[str, Set[str]] = {}
+        self.connections_opened = 0
+        self.calls_denied = 0
+
+    def register(self, name: str, handler: Handler, acl: List[str] = ()) -> None:
+        """Install a back-end script with an initial ACL."""
+        if name in self._scripts:
+            raise VsysError(f"script {name!r} already registered")
+        self._scripts[name] = handler
+        self._acls[name] = set(acl)
+
+    def scripts(self) -> List[str]:
+        """Names of the registered scripts."""
+        return sorted(self._scripts)
+
+    def allow(self, script: str, slice_name: str) -> None:
+        """Add a slice to a script's ACL."""
+        self._require_script(script)
+        self._acls[script].add(slice_name)
+
+    def deny(self, script: str, slice_name: str) -> None:
+        """Remove a slice from a script's ACL."""
+        self._require_script(script)
+        self._acls[script].discard(slice_name)
+
+    def is_allowed(self, script: str, slice_name: str) -> bool:
+        """Whether ``slice_name`` may open ``script``."""
+        return slice_name in self._acls.get(script, set())
+
+    def open(self, slice_name: str, script: str) -> VsysConnection:
+        """Create the FIFO pair and spawn the root-context back-end.
+
+        This is what materializing ``/vsys/<script>.in|.out`` inside the
+        slice does on a real node.
+        """
+        self._require_script(script)
+        if not self.is_allowed(script, slice_name):
+            self.calls_denied += 1
+            raise VsysError(
+                f"slice {slice_name!r} is not in the ACL of vsys script {script!r}"
+            )
+        pipe = FifoPair(self._sim, f"{self.node_name}/vsys/{script}:{slice_name}")
+        handler = self._scripts[script]
+        spawn(
+            self._sim,
+            self._backend_loop(pipe, slice_name, handler),
+            name=f"vsys-backend:{script}:{slice_name}",
+        )
+        self.connections_opened += 1
+        return VsysConnection(self._sim, pipe, script, slice_name)
+
+    def _require_script(self, script: str) -> None:
+        if script not in self._scripts:
+            raise VsysError(f"no vsys script {script!r}")
+
+    def _backend_loop(self, pipe: FifoPair, slice_name: str, handler: Handler):
+        """Root-context process servicing one FIFO pair until EOF."""
+        while True:
+            line = yield pipe.to_backend.get()
+            if line is EOF:
+                return
+            try:
+                argv = shlex.split(line)
+            except ValueError as exc:
+                pipe.to_frontend.put(f"vsys: unparsable request: {exc}")
+                pipe.to_frontend.put((_EXIT_SENTINEL, 1))
+                continue
+            try:
+                outcome = handler(slice_name, argv)
+                if inspect.isgenerator(outcome):
+                    outcome = yield from outcome
+                code, lines = outcome if outcome is not None else (0, [])
+            except Exception as exc:  # back-end crash → exit 1, like a real script
+                code, lines = 1, [f"error: {exc}"]
+            for out_line in lines:
+                pipe.to_frontend.put(out_line)
+            pipe.to_frontend.put((_EXIT_SENTINEL, code))

@@ -1,0 +1,31 @@
+"""The FIFO pipe pair underlying a vsys connection."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Store
+
+#: Sentinel object closing a pipe (the writer's EOF).
+EOF = object()
+
+
+class FifoPair:
+    """Two unidirectional pipes between a slice and the root context.
+
+    ``to_backend`` carries request lines written by the front-end;
+    ``to_frontend`` carries response lines written by the back-end.
+    Real vsys materializes these as ``/vsys/<script>.in`` and
+    ``.out`` FIFOs inside the slice's filesystem.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.name = name
+        self.to_backend = Store(sim, f"{name}.in")
+        self.to_frontend = Store(sim, f"{name}.out")
+        self.closed = False
+
+    def close(self) -> None:
+        """Close the pair: the back-end sees EOF and exits."""
+        if not self.closed:
+            self.closed = True
+            self.to_backend.put(EOF)

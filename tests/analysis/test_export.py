@@ -1,0 +1,90 @@
+"""Tests for CSV export of experiment series."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import export_experiment, read_csv_series, series_to_csv
+from repro.sim.monitor import TimeSeries
+
+
+def make_series(pairs):
+    ts = TimeSeries("t")
+    for t, v in pairs:
+        ts.add(t, v)
+    return ts
+
+
+def test_series_roundtrip(tmp_path):
+    series = make_series([(0.0, 1.5), (0.2, 2.5), (0.4, 3.25)])
+    path = series_to_csv(series, tmp_path / "s.csv")
+    pairs = read_csv_series(path)
+    assert pairs == [(0.0, 1.5), (0.2, 2.5), (0.4, 3.25)]
+
+
+def test_nan_becomes_empty_cell(tmp_path):
+    series = make_series([(0.0, 1.0), (0.2, float("nan"))])
+    path = series_to_csv(series, tmp_path / "s.csv")
+    text = path.read_text()
+    assert text.splitlines()[2].endswith(",")
+    pairs = read_csv_series(path)
+    assert math.isnan(pairs[1][1])
+
+
+def test_header_names(tmp_path):
+    series = make_series([(0.0, 1.0)])
+    path = series_to_csv(series, tmp_path / "s.csv", value_header="rtt_s")
+    assert path.read_text().splitlines()[0] == "time_s,rtt_s"
+
+
+def test_export_experiment_writes_all_series(tmp_path):
+    from repro import PATH_UMTS, run_characterization, voip_g711
+
+    result = run_characterization(voip_g711(duration=2.0), path=PATH_UMTS, seed=71)
+    written = export_experiment(result, tmp_path / "out", prefix="fig_")
+    names = sorted(p.name for p in written)
+    assert names == [
+        "fig_bitrate_kbps.csv",
+        "fig_jitter_s.csv",
+        "fig_loss_pkt.csv",
+        "fig_rab_grade_bps.csv",
+        "fig_rtt_s.csv",
+    ]
+    bitrate = read_csv_series(tmp_path / "out" / "fig_bitrate_kbps.csv")
+    assert len(bitrate) > 5
+    total = sum(v for _, v in bitrate if v == v)
+    assert total > 0
+
+
+def test_export_ethernet_has_no_rab(tmp_path):
+    from repro import PATH_ETHERNET, run_characterization, voip_g711
+
+    result = run_characterization(voip_g711(duration=2.0), path=PATH_ETHERNET, seed=72)
+    written = export_experiment(result, tmp_path)
+    assert not any("rab" in p.name for p in written)
+    assert len(written) == 4
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1000),
+            st.floats(min_value=-1e9, max_value=1e9),
+        ),
+        min_size=0,
+        max_size=50,
+    )
+)
+@settings(max_examples=40)
+def test_roundtrip_property(tmp_path_factory, pairs):
+    tmp = tmp_path_factory.mktemp("csv")
+    pairs = sorted(pairs, key=lambda p: p[0])
+    series = make_series(pairs)
+    path = series_to_csv(series, tmp / "s.csv")
+    out = read_csv_series(path)
+    assert len(out) == len(pairs)
+    for (t0, v0), (t1, v1) in zip(pairs, out):
+        assert t1 == pytest.approx(t0, abs=1e-6)
+        assert v1 == pytest.approx(v0, rel=1e-6)

@@ -1,0 +1,122 @@
+"""Tests for terminal figures and path comparison."""
+
+import math
+
+import pytest
+
+from repro.analysis.compare import compare_paths, report_lines
+from repro.analysis.figures import render_series_table, sparkline
+from repro.sim.monitor import TimeSeries
+
+
+def make_series(values, step=0.2):
+    ts = TimeSeries("s")
+    for i, v in enumerate(values):
+        ts.add(i * step, v)
+    return ts
+
+
+def test_sparkline_empty():
+    assert sparkline(TimeSeries()) == "(no samples)"
+
+
+def test_sparkline_all_nan():
+    assert sparkline(make_series([float("nan")] * 3)) == "(no samples)"
+
+
+def test_sparkline_monotone_values_monotone_density():
+    line = sparkline(make_series([0.0, 5.0, 10.0]))
+    assert len(line) == 3
+    assert line[0] == " "  # zero renders as the lowest block
+    blocks = " .:-=+*#%@"
+    assert blocks.index(line[2]) > blocks.index(line[1])
+
+
+def test_sparkline_nan_renders_space():
+    line = sparkline(make_series([1.0, float("nan"), 1.0]))
+    assert line[1] == " "
+
+
+def test_sparkline_downsamples_long_series():
+    line = sparkline(make_series([1.0] * 500), width=50)
+    assert len(line) <= 51
+
+
+def test_sparkline_shared_scale():
+    high = sparkline(make_series([10.0]), scale=10.0)
+    low = sparkline(make_series([1.0]), scale=10.0)
+    blocks = " .:-=+*#%@"
+    assert blocks.index(high) > blocks.index(low)
+
+
+def test_render_series_table():
+    a = make_series([10.0] * 100)  # 0..20 s
+    b = make_series([20.0] * 100)
+    lines = render_series_table([("A", a), ("B", b)], step=10.0)
+    assert "A" in lines[0] and "B" in lines[0]
+    assert "10.00" in lines[1] and "20.00" in lines[1]
+    assert len(lines) == 1 + 2  # header + rows at 0 and 10 (last sample 19.8s)
+
+
+def test_render_series_table_empty():
+    assert render_series_table([]) == []
+
+
+def test_render_table_empty_window_dash():
+    a = TimeSeries()
+    a.add(0.0, 5.0)
+    a.add(25.0, 5.0)
+    lines = render_series_table([("A", a)], step=10.0)
+    assert any(line.strip().endswith("-") for line in lines)
+
+
+class FakeResult:
+    """Quacks like ExperimentResult for compare_paths."""
+
+    def __init__(self, bitrate, jitter, rtt, lost, series_values):
+        from repro.traffic.decoder import FlowSummary
+
+        self.summary = FlowSummary(
+            packets_sent=100,
+            packets_received=100 - lost,
+            packets_lost=lost,
+            loss_fraction=lost / 100,
+            mean_bitrate_kbps=bitrate,
+            mean_owd=0.01,
+            max_owd=0.02,
+            mean_jitter=jitter,
+            max_jitter=jitter * 3,
+            mean_rtt=rtt,
+            max_rtt=rtt * 3,
+            duration=10.0,
+        )
+        self._series = make_series(series_values)
+
+    def bitrate_kbps(self):
+        return self._series
+
+
+def test_compare_paths_ratios():
+    umts = FakeResult(72.0, 0.010, 0.220, 0, [60, 80, 70, 75])
+    eth = FakeResult(72.0, 0.0002, 0.019, 0, [72, 72, 72, 72])
+    cmp = compare_paths(umts, eth, "umts", "eth")
+    assert cmp.bitrate_ratio == pytest.approx(1.0)
+    assert cmp.jitter_ratio == pytest.approx(50.0)
+    assert cmp.rtt_ratio == pytest.approx(0.220 / 0.019)
+    assert cmp.loss_a == 0 and cmp.loss_b == 0
+    assert cmp.bitrate_fluctuation_ratio > 5.0
+
+
+def test_compare_paths_zero_denominator():
+    a = FakeResult(72.0, 0.01, 0.2, 0, [72.0, 73.0])
+    b = FakeResult(72.0, 0.0, 0.2, 0, [72.0, 72.0])
+    cmp = compare_paths(a, b)
+    assert math.isinf(cmp.jitter_ratio)
+
+
+def test_report_lines_format():
+    umts = FakeResult(72.0, 0.010, 0.220, 0, [60, 80])
+    eth = FakeResult(72.0, 0.0002, 0.019, 2, [72, 72])
+    lines = report_lines(compare_paths(umts, eth, "umts", "eth"))
+    assert lines[0] == "umts vs eth:"
+    assert any("0 vs 2 packets" in line for line in lines)

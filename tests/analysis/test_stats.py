@@ -1,0 +1,99 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    median,
+    percentile,
+    stdev,
+)
+
+
+def test_mean_skips_nan():
+    assert mean([1.0, float("nan"), 3.0]) == 2.0
+
+
+def test_mean_empty_is_nan():
+    assert math.isnan(mean([]))
+    assert math.isnan(mean([float("nan")]))
+
+
+def test_stdev_basic():
+    assert stdev([2.0, 4.0]) == pytest.approx(1.0)
+
+
+def test_stdev_single_is_nan():
+    assert math.isnan(stdev([1.0]))
+
+
+def test_percentile_endpoints():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 50) == 5.0
+    assert percentile([0.0, 10.0], 25) == 2.5
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_confidence_interval_contains_mean():
+    values = [10.0, 11.0, 9.0, 10.5, 9.5]
+    low, high = confidence_interval_95(values)
+    assert low < mean(values) < high
+
+
+def test_confidence_interval_needs_two():
+    low, high = confidence_interval_95([1.0])
+    assert math.isnan(low) and math.isnan(high)
+
+
+def test_ci_narrows_with_more_samples():
+    tight = confidence_interval_95([10.0, 10.1] * 50)
+    loose = confidence_interval_95([10.0, 10.1] * 2)
+    assert (tight[1] - tight[0]) < (loose[1] - loose[0])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_percentile_monotone_property(values):
+    p25 = percentile(values, 25)
+    p50 = percentile(values, 50)
+    p75 = percentile(values, 75)
+    assert p25 <= p50 <= p75
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_mean_within_range_property(values):
+    mu = mean(values)
+    assert min(values) - 1e-9 <= mu <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=50))
+@settings(max_examples=50)
+def test_percentile_bounds_property(values):
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)

@@ -1,0 +1,168 @@
+"""Failure injection on the connection manager and backend cleanup.
+
+The paper's back-end must never leave stale rules or a stuck lock:
+these tests drive registration denial, dead networks, carrier loss
+mid-session, and re-dial after each failure.
+"""
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.core.isolation import UMTS_TABLE
+from repro.testbed.scenarios import OneLabScenario
+
+
+def run_until(scenario, seconds):
+    scenario.sim.run(until=scenario.sim.now + seconds)
+
+
+def test_start_fails_when_registration_denied():
+    scenario = OneLabScenario(seed=31)
+    scenario.cell.deny_registration = True
+    scenario.napoli.modem.registration = scenario.cell.registration_result(
+        scenario.napoli.modem
+    )
+    umts = scenario.umts_command()
+    result = umts.start_blocking()
+    assert not result.ok
+    assert "denied" in result.text
+    # No stale state: lock free, no ppp0, no rules.
+    backend = scenario.napoli.umts_backend
+    assert not backend.lock.locked
+    assert "ppp0" not in scenario.napoli.stack.interfaces
+    assert scenario.napoli.stack.ip.route_list(UMTS_TABLE) == []
+    assert scenario.napoli.connection.state == ConnectionState.DOWN
+
+
+def test_start_fails_cleanly_without_coverage():
+    """No cell at all: comgt times out, everything stays clean."""
+    scenario = OneLabScenario(seed=32)
+    scenario.napoli.modem.network = None
+    scenario.napoli.modem.registration = 0
+    umts = scenario.umts_command()
+    result = umts.start_blocking()
+    assert not result.ok
+    assert "timed out" in result.text
+    assert not scenario.napoli.umts_backend.lock.locked
+
+
+def test_retry_after_failed_start_succeeds():
+    scenario = OneLabScenario(seed=33)
+    scenario.cell.deny_registration = True
+    scenario.napoli.modem.registration = scenario.cell.registration_result(
+        scenario.napoli.modem
+    )
+    umts = scenario.umts_command()
+    assert not umts.start_blocking().ok
+    # Coverage returns.
+    scenario.cell.deny_registration = False
+    from repro.modem.device import RegistrationStatus
+
+    scenario.napoli.modem.registration = RegistrationStatus.REGISTERED_HOME
+    result = umts.start_blocking()
+    assert result.ok, result.text
+
+
+def test_carrier_loss_cleans_rules_and_lock():
+    scenario = OneLabScenario(seed=34)
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    umts.add_destination_blocking(scenario.inria_addr)
+    backend = scenario.napoli.umts_backend
+    assert backend.lock.locked
+    # The operator drops the session (e.g. coverage loss).
+    call = scenario.operator.calls[0]
+    scenario.operator.drop_call(call, "coverage lost")
+    run_until(scenario, 5.0)
+    assert not backend.lock.locked
+    assert not backend.isolation.active
+    assert "ppp0" not in scenario.napoli.stack.interfaces
+    assert scenario.napoli.stack.ip.route_list(UMTS_TABLE) == []
+    assert scenario.napoli.connection.state == ConnectionState.DOWN
+    events = [msg for _, msg in backend.events]
+    assert any("cleanup" in e for e in events)
+
+
+def test_status_after_carrier_loss():
+    scenario = OneLabScenario(seed=35)
+    umts = scenario.umts_command()
+    umts.start_blocking()
+    scenario.operator.drop_call(scenario.operator.calls[0], "dropped")
+    run_until(scenario, 5.0)
+    status = umts.status_blocking()
+    assert "state: down" in status.lines[0]
+    assert any("unlocked" in line for line in status.lines)
+
+
+def test_redial_after_carrier_loss():
+    scenario = OneLabScenario(seed=36)
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    first_addr = scenario.umts_address()
+    scenario.operator.drop_call(scenario.operator.calls[0], "dropped")
+    run_until(scenario, 5.0)
+    result = umts.start_blocking()
+    assert result.ok, result.text
+    assert scenario.umts_address() is not None
+    assert scenario.napoli.connection.is_up
+    # The pool recycled cleanly.
+    assert scenario.operator.ggsn.pool.in_use == 1
+
+
+def test_carrier_loss_counter():
+    scenario = OneLabScenario(seed=37)
+    umts = scenario.umts_command()
+    umts.start_blocking()
+    scenario.operator.drop_call(scenario.operator.calls[0], "x")
+    run_until(scenario, 2.0)
+    assert scenario.napoli.connection.carrier_losses == 1
+
+
+def test_traffic_stops_when_carrier_lost_midflow():
+    scenario = OneLabScenario(seed=38)
+    umts = scenario.umts_command()
+    umts.start_blocking()
+    umts.add_destination_blocking(scenario.inria_addr)
+    got = []
+    server = scenario.inria_sliver.socket()
+    server.bind(port=9000)
+    server.on_receive = lambda payload, *a: got.append(payload)
+    sender = scenario.napoli_sliver.socket()
+    sender.sendto("before", 50, scenario.inria_addr, 9000)
+    run_until(scenario, 5.0)
+    scenario.operator.drop_call(scenario.operator.calls[0], "gone")
+    run_until(scenario, 5.0)
+    # With ppp0 gone and the fwmark rule removed, traffic reverts to eth0.
+    sender.sendto("after", 50, scenario.inria_addr, 9000)
+    run_until(scenario, 5.0)
+    assert got == ["before", "after"]
+
+
+def test_connect_status_lines_cover_states():
+    scenario = OneLabScenario(seed=39)
+    connection = scenario.napoli.connection
+    assert connection.status_lines() == ["state: down"]
+    umts = scenario.umts_command()
+    umts.start_blocking()
+    lines = connection.status_lines()
+    assert lines[0] == "state: up"
+    assert any(line.startswith("uptime:") for line in lines)
+    assert connection.uptime() is not None
+    assert connection.uptime() >= 0.0
+
+
+def test_disconnect_when_down_reports_error():
+    scenario = OneLabScenario(seed=40)
+    connection = scenario.napoli.connection
+
+    def drive():
+        outcome = yield from connection.disconnect()
+        return outcome
+
+    from repro.sim.process import spawn
+
+    process = spawn(scenario.sim, drive())
+    scenario.sim.run(until=5.0)
+    code, lines = process.value
+    assert code == 1
+    assert "expected up" in lines[0]

@@ -1,0 +1,85 @@
+"""Unit tests for the one-slice-at-a-time interface lock."""
+
+import pytest
+
+from repro.core.errors import InterfaceLockedError, NotOwnerError
+from repro.core.lock import InterfaceLock
+
+
+def test_fresh_lock_is_free():
+    lock = InterfaceLock()
+    assert not lock.locked
+    assert lock.holder is None
+
+
+def test_acquire_sets_holder():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    assert lock.locked
+    assert lock.holder == "unina_umts"
+    assert lock.acquisitions == 1
+
+
+def test_second_slice_rejected():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    with pytest.raises(InterfaceLockedError):
+        lock.acquire("other_slice")
+    assert lock.contentions == 1
+    assert lock.holder == "unina_umts"
+
+
+def test_reacquire_by_holder_rejected():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    with pytest.raises(InterfaceLockedError):
+        lock.acquire("unina_umts")
+
+
+def test_release_frees():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    lock.release("unina_umts")
+    assert not lock.locked
+    lock.acquire("other_slice")
+
+
+def test_release_by_non_holder_rejected():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    with pytest.raises(NotOwnerError):
+        lock.release("other_slice")
+
+
+def test_release_when_free_rejected():
+    lock = InterfaceLock()
+    with pytest.raises(NotOwnerError):
+        lock.release("unina_umts")
+
+
+def test_require_owner():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    lock.require_owner("unina_umts", "stop")  # no raise
+    with pytest.raises(NotOwnerError):
+        lock.require_owner("other", "stop")
+
+
+def test_require_owner_when_free():
+    lock = InterfaceLock()
+    with pytest.raises(NotOwnerError):
+        lock.require_owner("unina_umts", "add")
+
+
+def test_force_release():
+    lock = InterfaceLock()
+    lock.acquire("unina_umts")
+    lock.force_release()
+    assert not lock.locked
+
+
+def test_repr_shows_state():
+    lock = InterfaceLock("umts0")
+    assert "free" in repr(lock)
+    lock.acquire("s")
+    assert "'s'" in repr(lock)

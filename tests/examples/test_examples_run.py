@@ -1,0 +1,108 @@
+"""Smoke tests: every shipped example runs end-to-end.
+
+Each example is executed as a subprocess (shortened durations where it
+accepts one) and its output is checked for the landmark lines a reader
+is promised.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "$ umts start" in out
+    assert "pppd: ppp0 up" in out
+    assert "UMTS (ppp0)" in out
+    assert "Ethernet (eth0)" in out
+    assert "rules deleted, interface unlocked" in out
+
+
+def test_voip_characterization():
+    out = run_example("voip_characterization.py", "20")
+    assert "Figure 1 - bitrate" in out
+    assert "Figure 2 - jitter" in out
+    assert "Figure 3 - RTT" in out
+    assert "(both ~72)" in out
+    assert "(both 0)" in out
+
+
+def test_uplink_saturation():
+    out = run_example("uplink_saturation.py", "70")
+    assert "RAB grade timeline" in out
+    assert "144 kbit/s" in out
+    assert "384 kbit/s" in out
+    assert "UMTS-to-Ethernet" in out
+    assert "Ethernet-to-Ethernet" in out
+
+
+def test_slice_isolation_demo():
+    out = run_example("slice_isolation_demo.py")
+    assert "denied: slice 'rival_exp'" in out
+    assert "locked by slice 'unina_umts'" in out
+    assert "filter/OUTPUT drops: 2" in out
+    assert "1 acquisitions, 1 contentions" in out
+
+
+def test_multi_operator_comparison():
+    out = run_example("multi_operator_comparison.py", "60")
+    assert "commercial" in out
+    assert "private micro-cell" in out
+    assert "blocked" in out and "open" in out
+
+
+def test_background_traffic_study():
+    out = run_example("background_traffic_study.py", "25", timeout=300)
+    assert "call OK" in out
+    assert "degraded" in out or "unusable" in out
+    assert "0 kb" in out and "128 kb" in out
+
+
+def test_presence_heartbeat():
+    out = run_example("presence_heartbeat.py")
+    assert "-> ONLINE" in out
+    assert "-> OFFLINE" in out
+    assert "Offline detected" in out
+    assert "redial -> exit 0" in out
+
+
+def test_regenerate_harness(tmp_path):
+    """The standalone figure-regeneration script produces all CSVs."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES.parent / "benchmarks" / "regenerate.py"),
+            "--out",
+            str(tmp_path),
+            "--duration",
+            "10",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    names = {p.name for p in tmp_path.iterdir()}
+    for workload in ("voip", "sat"):
+        for path in ("umts", "ethernet"):
+            for series in ("bitrate_kbps", "jitter_s", "loss_pkt", "rtt_s"):
+                assert f"{workload}_{path}_{series}.csv" in names
+    assert "sat_umts_rab_grade_bps.csv" in names
+    assert "summary.txt" in names
+    assert "shape checkpoints" in (tmp_path / "summary.txt").read_text()

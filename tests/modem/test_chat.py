@@ -1,0 +1,75 @@
+"""Unit tests for the chat primitive."""
+
+import pytest
+
+from repro.modem.chat import chat, is_terminal
+from repro.modem.serial import SerialPort
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+
+
+def test_is_terminal_result_codes():
+    for line in ("OK", "ERROR", "NO CARRIER", "BUSY", "NO DIALTONE",
+                 "CONNECT 384000", "+CME ERROR: SIM PIN required"):
+        assert is_terminal(line)
+    for line in ("+CREG: 0,1", "+CSQ: 20,0", "GlobeTrotter 3G+", ""):
+        assert not is_terminal(line)
+
+
+def test_chat_collects_info_until_terminal():
+    sim = Simulator()
+    port = SerialPort(sim)
+    result = {}
+
+    def talker():
+        result["value"] = yield from chat(port, "AT+CREG?")
+
+    spawn(sim, talker())
+    port._modem_write("+CREG: 0,1")
+    port._modem_write("OK")
+    sim.run()
+    assert result["value"] == ("OK", ["+CREG: 0,1"])
+
+
+def test_chat_skips_echo_and_blank_lines():
+    sim = Simulator()
+    port = SerialPort(sim)
+    result = {}
+
+    def talker():
+        result["value"] = yield from chat(port, "AT")
+
+    spawn(sim, talker())
+    port._modem_write("AT")  # command echo (ATE1)
+    port._modem_write("")
+    port._modem_write("OK")
+    sim.run()
+    assert result["value"] == ("OK", [])
+
+
+def test_chat_ignores_stray_frames():
+    sim = Simulator()
+    port = SerialPort(sim)
+    result = {}
+
+    from repro.ppp.frame import PPP_LCP, ControlPacket, PPPFrame
+
+    def talker():
+        result["value"] = yield from chat(port, "ATH")
+
+    spawn(sim, talker())
+    port._modem_write(PPPFrame(PPP_LCP, ControlPacket(5, 1)))
+    port._modem_write("OK")
+    sim.run()
+    assert result["value"] == ("OK", [])
+
+
+def test_serial_port_counters():
+    sim = Simulator()
+    port = SerialPort(sim, "ttyUSB1")
+    port.write("AT")
+    port._modem_write("OK")
+    assert port.host_writes == 1
+    assert port.modem_writes == 1
+    assert port.read_available() == 1
+    assert "ttyUSB1" in repr(port)

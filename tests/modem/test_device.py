@@ -1,0 +1,303 @@
+"""Unit tests for the AT-command modem state machine."""
+
+import pytest
+
+from repro.modem.cards import GlobetrotterGT3G, HuaweiE620
+from repro.modem.chat import chat
+from repro.modem.device import Modem3G, RegistrationStatus
+from repro.ppp.frame import PPP_LCP, ControlPacket, PPPFrame
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+from repro.sim.rng import RandomStreams
+
+
+class FakeDataCall:
+    def __init__(self):
+        self.uplink = []
+        self.downlink_cb = None
+        self.on_drop = None
+        self.advertised_rate_bps = 384000
+        self.hangup_reasons = []
+
+    def send_uplink(self, frame):
+        self.uplink.append(frame)
+
+    def set_downlink(self, cb):
+        self.downlink_cb = cb
+
+    def set_on_drop(self, cb):
+        self.on_drop = cb
+
+    def hangup(self, reason):
+        self.hangup_reasons.append(reason)
+
+
+class FakeNetwork:
+    operator_name = "FakeNet"
+
+    def __init__(self, deny=False, fail_call=False):
+        self.deny = deny
+        self.fail_call = fail_call
+        self.calls = []
+
+    def registration_delay(self, rng):
+        return 3.0
+
+    def registration_result(self, modem):
+        if self.deny:
+            return RegistrationStatus.DENIED
+        return RegistrationStatus.REGISTERED_HOME
+
+    def signal_quality(self, rng):
+        return 21
+
+    def open_data_call(self, modem, apn=None):
+        if self.fail_call:
+            raise RuntimeError("no resources")
+        call = FakeDataCall()
+        self.calls.append(call)
+        return call
+
+
+def run_chat(sim, port, command):
+    """Run one chat exchange to completion; returns (terminal, info)."""
+    result = {}
+
+    def proc():
+        result["value"] = yield from chat(port, command)
+
+    spawn(sim, proc())
+    sim.run()
+    return result["value"]
+
+
+def test_at_ping():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, info = run_chat(sim, modem.port, "AT")
+    assert terminal == "OK"
+    assert info == []
+
+
+def test_unknown_command_errors():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, _ = run_chat(sim, modem.port, "AT+NOSUCH")
+    assert terminal == "ERROR"
+
+
+def test_ati_reports_card_identity():
+    sim = Simulator()
+    option = GlobetrotterGT3G(sim)
+    terminal, info = run_chat(sim, option.port, "ATI")
+    assert terminal == "OK"
+    assert info == ["Option N.V.", "GlobeTrotter 3G+"]
+    huawei = HuaweiE620(sim)
+    terminal, info = run_chat(sim, huawei.port, "ATI")
+    assert info == ["huawei", "E620"]
+
+
+def test_required_kernel_modules():
+    sim = Simulator()
+    assert GlobetrotterGT3G(sim).required_module == "nozomi"
+    assert HuaweiE620(sim).required_module == "usbserial"
+
+
+def test_cpin_ready_without_pin():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, info = run_chat(sim, modem.port, "AT+CPIN?")
+    assert info == ["+CPIN: READY"]
+
+
+def test_pin_flow():
+    sim = Simulator()
+    modem = Modem3G(sim, sim_pin="1234")
+    _, info = run_chat(sim, modem.port, "AT+CPIN?")
+    assert info == ["+CPIN: SIM PIN"]
+    terminal, _ = run_chat(sim, modem.port, 'AT+CPIN="0000"')
+    assert terminal.startswith("+CME ERROR")
+    terminal, _ = run_chat(sim, modem.port, 'AT+CPIN="1234"')
+    assert terminal == "OK"
+    _, info = run_chat(sim, modem.port, "AT+CPIN?")
+    assert info == ["+CPIN: READY"]
+
+
+def test_dial_requires_pin():
+    sim = Simulator()
+    modem = Modem3G(sim, sim_pin="1234")
+    modem.plug_into(FakeNetwork())
+    sim.run(until=10.0)
+    terminal, _ = run_chat(sim, modem.port, "ATD*99#")
+    assert terminal.startswith("+CME ERROR")
+
+
+def test_registration_takes_time():
+    sim = Simulator()
+    modem = Modem3G(sim, rng=RandomStreams(0).stream("m"))
+    modem.plug_into(FakeNetwork())
+    _, info = run_chat(sim, modem.port, "AT+CREG?")
+    assert info == ["+CREG: 0,2"]  # searching
+    sim.run(until=10.0)
+    _, info = run_chat(sim, modem.port, "AT+CREG?")
+    assert info == ["+CREG: 0,1"]
+
+
+def test_registration_denied():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork(deny=True))
+    sim.run(until=10.0)
+    _, info = run_chat(sim, modem.port, "AT+CREG?")
+    assert info == ["+CREG: 0,3"]
+
+
+def test_csq_reports_network_signal():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork())
+    sim.run(until=10.0)
+    _, info = run_chat(sim, modem.port, "AT+CSQ")
+    assert info == ["+CSQ: 21,0"]
+
+
+def test_csq_without_network_is_unknown():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    _, info = run_chat(sim, modem.port, "AT+CSQ")
+    assert info == ["+CSQ: 99,99"]
+
+
+def test_cops_reports_operator():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork())
+    sim.run(until=10.0)
+    _, info = run_chat(sim, modem.port, "AT+COPS?")
+    assert info == ['+COPS: 0,0,"FakeNet"']
+
+
+def test_cgdcont_sets_apn():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, _ = run_chat(sim, modem.port, 'AT+CGDCONT=1,"IP","my.apn.it"')
+    assert terminal == "OK"
+    assert modem.apn == "my.apn.it"
+
+
+def test_malformed_cgdcont_errors():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, _ = run_chat(sim, modem.port, "AT+CGDCONT=1")
+    assert terminal == "ERROR"
+
+
+def test_dial_unregistered_no_carrier():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    terminal, _ = run_chat(sim, modem.port, "ATD*99#")
+    assert terminal == "NO CARRIER"
+
+
+def test_dial_success_enters_data_mode():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    terminal, _ = run_chat(sim, modem.port, "ATD*99#")
+    assert terminal.startswith("CONNECT 384000")
+    assert modem.data_mode
+    assert modem.connected
+
+
+def test_dial_failure_when_network_refuses():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork(fail_call=True))
+    sim.run(until=10.0)
+    terminal, _ = run_chat(sim, modem.port, "ATD*99#")
+    assert terminal == "NO CARRIER"
+    assert not modem.data_mode
+
+
+def test_data_mode_relays_frames_both_ways():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_chat(sim, modem.port, "ATD*99#")
+    call = network.calls[0]
+    frame = PPPFrame(PPP_LCP, ControlPacket(1, 1))
+    modem.port.write(frame)
+    sim.run()
+    assert call.uplink == [frame]
+    # Downlink frame appears on the host side of the serial port.
+    down = PPPFrame(PPP_LCP, ControlPacket(2, 1))
+    call.downlink_cb(down)
+    assert modem.port.read_available() == 1
+
+
+def test_escape_sequence_returns_to_command_mode():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_chat(sim, modem.port, "ATD*99#")
+    got = {}
+
+    def escape():
+        modem.port.write("+++")
+        got["resp"] = yield modem.port.read()
+
+    spawn(sim, escape())
+    sim.run()
+    assert got["resp"] == "OK"
+    assert not modem.data_mode
+
+
+def test_ath_hangs_up():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_chat(sim, modem.port, "ATD*99#")
+    call = network.calls[0]
+    modem.data_mode = False  # after +++ escape
+    terminal, _ = run_chat(sim, modem.port, "ATH")
+    assert terminal == "OK"
+    assert call.hangup_reasons == ["local"]
+    assert not modem.connected
+
+
+def test_network_hangup_emits_no_carrier():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_chat(sim, modem.port, "ATD*99#")
+    call = network.calls[0]
+    call.on_drop("session timeout")
+    assert modem.port.read_available() == 1
+    assert not modem.data_mode
+
+
+def test_atz_resets_state():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    run_chat(sim, modem.port, 'AT+CGDCONT=1,"IP","apn"')
+    terminal, _ = run_chat(sim, modem.port, "ATZ")
+    assert terminal == "OK"
+    assert modem.apn is None
+
+
+def test_at_log_records_commands():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    run_chat(sim, modem.port, "AT")
+    run_chat(sim, modem.port, "AT+CREG?")
+    assert modem.at_log == ["AT", "AT+CREG?"]

@@ -1,0 +1,173 @@
+"""Unit tests for comgt and wvdial against a simulated modem."""
+
+import pytest
+
+from repro.modem.comgt import Comgt
+from repro.modem.device import Modem3G
+from repro.modem.wvdial import SerialPppTransport, Wvdial
+from repro.ppp.frame import PPP_LCP, ControlPacket, PPPFrame
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+from repro.sim.rng import RandomStreams
+
+from tests.modem.test_device import FakeNetwork
+
+
+def run_tool(sim, generator):
+    """Run a tool generator as a process to completion."""
+    holder = {}
+
+    def wrapper():
+        holder["result"] = yield from generator
+
+    spawn(sim, wrapper())
+    sim.run()
+    return holder["result"]
+
+
+def test_comgt_registers():
+    sim = Simulator()
+    modem = Modem3G(sim, rng=RandomStreams(1).stream("m"))
+    modem.plug_into(FakeNetwork())
+    code, lines = run_tool(sim, Comgt(modem.port).run())
+    assert code == 0
+    assert any("registered" in line for line in lines)
+    assert any("signal" in line for line in lines)
+
+
+def test_comgt_waits_for_searching_modem():
+    sim = Simulator()
+    modem = Modem3G(sim, rng=RandomStreams(1).stream("m"))
+    modem.plug_into(FakeNetwork())  # registration completes at t≈3s
+    code, _ = run_tool(sim, Comgt(modem.port, poll_interval=0.5).run())
+    assert code == 0
+    assert sim.now >= 3.0
+
+
+def test_comgt_fails_when_denied():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork(deny=True))
+    code, lines = run_tool(sim, Comgt(modem.port, poll_interval=0.5).run())
+    assert code == 1
+    assert "denied" in lines[0]
+
+
+def test_comgt_times_out_without_network():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    code, lines = run_tool(
+        sim, Comgt(modem.port, poll_interval=0.5, max_attempts=3).run()
+    )
+    assert code == 1
+    assert "timed out" in lines[0]
+
+
+def test_comgt_handles_pin():
+    sim = Simulator()
+    modem = Modem3G(sim, sim_pin="4321")
+    modem.plug_into(FakeNetwork())
+    code, _ = run_tool(sim, Comgt(modem.port, pin="4321").run())
+    assert code == 0
+
+
+def test_comgt_fails_without_needed_pin():
+    sim = Simulator()
+    modem = Modem3G(sim, sim_pin="4321")
+    modem.plug_into(FakeNetwork())
+    code, lines = run_tool(sim, Comgt(modem.port).run())
+    assert code == 1
+    assert "PIN" in lines[0]
+
+
+def test_comgt_fails_with_wrong_pin():
+    sim = Simulator()
+    modem = Modem3G(sim, sim_pin="4321")
+    modem.plug_into(FakeNetwork())
+    code, lines = run_tool(sim, Comgt(modem.port, pin="1111").run())
+    assert code == 1
+    assert "rejected" in lines[0]
+
+
+def test_wvdial_connects():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    modem.plug_into(FakeNetwork())
+    sim.run(until=10.0)
+    code, lines = run_tool(sim, Wvdial(modem.port, apn="x.apn").run())
+    assert code == 0
+    assert "CONNECT" in lines[-1]
+    assert modem.data_mode
+    assert modem.apn == "x.apn"
+
+
+def test_wvdial_fails_when_unregistered():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    code, lines = run_tool(sim, Wvdial(modem.port, apn="x.apn").run())
+    assert code == 1
+    assert "NO CARRIER" in lines[0]
+
+
+def test_wvdial_hangup():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    dialer = Wvdial(modem.port, apn="x.apn")
+    code, _ = run_tool(sim, dialer.run())
+    assert code == 0
+    code, lines = run_tool(sim, dialer.hangup())
+    assert code == 0
+    assert not modem.data_mode
+    assert network.calls[0].hangup_reasons == ["local"]
+
+
+def test_serial_ppp_transport_roundtrip():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_tool(sim, Wvdial(modem.port, apn="x.apn").run())
+    transport = SerialPppTransport(sim, modem.port)
+    received = []
+    transport.set_receiver(received.append)
+    # Uplink: pppd frame reaches the data call.
+    frame = PPPFrame(PPP_LCP, ControlPacket(1, 1))
+    transport.send_frame(frame)
+    sim.run()
+    assert network.calls[0].uplink == [frame]
+    # Downlink: network frame reaches pppd.
+    down = PPPFrame(PPP_LCP, ControlPacket(2, 1))
+    network.calls[0].downlink_cb(down)
+    sim.run()
+    assert received == [down]
+    assert transport.frames_sent == 1
+    assert transport.frames_received == 1
+
+
+def test_serial_ppp_transport_carrier_lost():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    network = FakeNetwork()
+    modem.plug_into(network)
+    sim.run(until=10.0)
+    run_tool(sim, Wvdial(modem.port, apn="x.apn").run())
+    lost = []
+    transport = SerialPppTransport(
+        sim, modem.port, on_carrier_lost=lambda: lost.append(True)
+    )
+    network.calls[0].on_drop("timeout")
+    sim.run()
+    assert lost == [True]
+
+
+def test_serial_ppp_transport_stop():
+    sim = Simulator()
+    modem = Modem3G(sim)
+    transport = SerialPppTransport(sim, modem.port)
+    transport.stop()
+    sim.run()
+    assert not transport._reader.alive

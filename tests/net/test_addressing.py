@@ -1,0 +1,59 @@
+"""Unit tests for address helpers."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.addressing import (
+    DEFAULT_NETWORK,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    ip,
+    network,
+    proto_name,
+)
+
+
+def test_ip_parses_string():
+    assert ip("10.0.0.1") == ipaddress.IPv4Address("10.0.0.1")
+
+
+def test_ip_is_idempotent():
+    addr = ipaddress.IPv4Address("10.0.0.1")
+    assert ip(addr) is addr
+
+
+def test_ip_rejects_garbage():
+    with pytest.raises(ValueError):
+        ip("not-an-address")
+
+
+def test_network_parses_cidr():
+    assert network("10.0.0.0/8") == ipaddress.IPv4Network("10.0.0.0/8")
+
+
+def test_network_default_keyword():
+    assert network("default") == DEFAULT_NETWORK
+    assert DEFAULT_NETWORK.prefixlen == 0
+
+
+def test_network_bare_address_is_host_route():
+    assert network("10.1.2.3") == ipaddress.IPv4Network("10.1.2.3/32")
+
+
+def test_network_non_strict():
+    # Host bits set are tolerated, like `ip route` does.
+    assert network("10.1.2.3/8") == ipaddress.IPv4Network("10.0.0.0/8")
+
+
+def test_network_idempotent():
+    net = ipaddress.IPv4Network("10.0.0.0/8")
+    assert network(net) is net
+
+
+def test_proto_names():
+    assert proto_name(PROTO_UDP) == "udp"
+    assert proto_name(PROTO_TCP) == "tcp"
+    assert proto_name(PROTO_ICMP) == "icmp"
+    assert proto_name(99) == "99"

@@ -1,0 +1,132 @@
+"""Tests for the DNS server and resolver."""
+
+import pytest
+
+from repro.net.addressing import ip
+from repro.net.dns import DnsResolver, DnsServer, ResolutionError
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+
+
+def make_world(sim, loss_rate=0.0, seed=1):
+    client = IPStack(sim, "client")
+    server = IPStack(sim, "server")
+    c_eth = client.add_interface(EthernetInterface("eth0"))
+    s_eth = server.add_interface(EthernetInterface("eth0"))
+    client.configure_interface(c_eth, "10.0.0.1", 24)
+    server.configure_interface(s_eth, "10.0.0.2", 24)
+    rng = None
+    if loss_rate:
+        from repro.sim.rng import RandomStreams
+
+        rng = RandomStreams(seed).stream("loss")
+    Link(sim, c_eth, s_eth, delay=0.005, loss_rate=loss_rate, rng=rng)
+    dns = DnsServer(
+        server.socket(),
+        zone={"onelab03.inria.fr": "138.96.250.100", "WWW.Example.COM": "1.2.3.4"},
+    )
+    resolver = DnsResolver(sim, client.socket(), "10.0.0.2")
+    return client, server, dns, resolver
+
+
+def test_resolve_known_name():
+    sim = Simulator()
+    _, _, dns, resolver = make_world(sim)
+    address = resolver.resolve_blocking("onelab03.inria.fr")
+    assert address == ip("138.96.250.100")
+    assert dns.queries == 1
+    assert resolver.sent_queries == 1
+
+
+def test_names_case_insensitive_and_fqdn_dot():
+    sim = Simulator()
+    _, _, dns, resolver = make_world(sim)
+    assert resolver.resolve_blocking("www.example.com") == ip("1.2.3.4")
+    assert resolver.resolve_blocking("WWW.EXAMPLE.COM.") == ip("1.2.3.4")
+
+
+def test_nxdomain_raises():
+    sim = Simulator()
+    _, _, dns, resolver = make_world(sim)
+    with pytest.raises(ResolutionError, match="NXDOMAIN"):
+        resolver.resolve_blocking("nosuch.example.org")
+    assert dns.nxdomains == 1
+
+
+def test_add_and_remove_record():
+    sim = Simulator()
+    _, _, dns, resolver = make_world(sim)
+    dns.add_record("new.host", "9.9.9.9")
+    assert resolver.resolve_blocking("new.host") == ip("9.9.9.9")
+    dns.remove_record("new.host")
+    with pytest.raises(ResolutionError):
+        resolver.resolve_blocking("new.host")
+
+
+def test_retry_overcomes_loss():
+    sim = Simulator()
+    # 40% loss: with 3 attempts the query almost certainly completes.
+    _, _, dns, resolver = make_world(sim, loss_rate=0.4, seed=3)
+    resolver.retries = 5
+    address = resolver.resolve_blocking("onelab03.inria.fr")
+    assert address == ip("138.96.250.100")
+
+
+def test_dead_server_times_out():
+    sim = Simulator()
+    client = IPStack(sim, "client")
+    c_eth = client.add_interface(EthernetInterface("eth0"))
+    client.configure_interface(c_eth, "10.0.0.1", 24)
+    hole = IPStack(sim, "hole")
+    h_eth = hole.add_interface(EthernetInterface("eth0"))
+    hole.configure_interface(h_eth, "10.0.0.2", 24)
+    Link(sim, c_eth, h_eth)
+    resolver = DnsResolver(sim, client.socket(), "10.0.0.2", timeout=0.5, retries=1)
+    with pytest.raises(ResolutionError, match="timed out"):
+        resolver.resolve_blocking("anything.example")
+    assert resolver.timeouts == 2
+    assert sim.now >= 1.0  # two timeouts of 0.5 s
+
+
+def test_resolve_inside_process():
+    sim = Simulator()
+    _, _, dns, resolver = make_world(sim)
+    got = []
+
+    def experiment():
+        address = yield resolver.resolve("onelab03.inria.fr")
+        got.append(address)
+
+    from repro.sim.process import spawn
+
+    spawn(sim, experiment())
+    sim.run(until=5.0)
+    assert got == [ip("138.96.250.100")]
+
+
+def test_resolution_over_umts_with_operator_dns():
+    """End-to-end: the mobile resolves via the DNS that IPCP pushed."""
+    from repro.testbed.scenarios import OneLabScenario
+
+    scenario = OneLabScenario(seed=81)
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    primary, _secondary = scenario.napoli.connection.dns_servers()
+    assert primary == scenario.operator.ggsn.internal_address
+    resolver = DnsResolver(
+        scenario.sim, scenario.napoli_sliver.socket(), primary
+    )
+    address = resolver.resolve_blocking(scenario.inria.name)
+    assert str(address) == scenario.inria_addr
+    # And the answer's transport really was the UMTS interface: the
+    # query went to the PPP peer, which only ppp0 can reach.
+    assert scenario.napoli.stack.iface("ppp0").tx_packets > 0
+
+
+def test_dns_servers_when_down():
+    from repro.testbed.scenarios import OneLabScenario
+
+    scenario = OneLabScenario(seed=82)
+    assert scenario.napoli.connection.dns_servers() == (None, None)

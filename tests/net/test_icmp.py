@@ -1,0 +1,99 @@
+"""Unit tests for ICMP echo / the pinger."""
+
+import pytest
+
+from repro.net.icmp import IcmpEcho, Pinger
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+
+
+def linked_pair(sim, delay=0.005):
+    a = IPStack(sim, "a")
+    b = IPStack(sim, "b")
+    a_eth = a.add_interface(EthernetInterface("eth0"))
+    b_eth = b.add_interface(EthernetInterface("eth0"))
+    a.configure_interface(a_eth, "10.0.0.1", 24)
+    b.configure_interface(b_eth, "10.0.0.2", 24)
+    Link(sim, a_eth, b_eth, rate_bps=1e9, delay=delay)
+    return a, b
+
+
+def test_multiple_pings_sequence_numbers():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    pinger = Pinger(a)
+    for _ in range(5):
+        pinger.send("10.0.0.2")
+    sim.run()
+    assert [seq for seq, _ in pinger.results] == [1, 2, 3, 4, 5]
+    assert pinger.sent == 5
+
+
+def test_rtt_reflects_path_delay():
+    sim = Simulator()
+    a, b = linked_pair(sim, delay=0.030)
+    pinger = Pinger(a)
+    pinger.send("10.0.0.2")
+    sim.run()
+    _, rtt = pinger.results[0]
+    assert rtt == pytest.approx(0.060, abs=0.005)
+
+
+def test_on_reply_callback():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    seen = []
+    pinger = Pinger(a, on_reply=lambda seq, rtt: seen.append(seq))
+    pinger.send("10.0.0.2")
+    sim.run()
+    assert seen == [1]
+
+
+def test_two_pingers_do_not_cross_talk():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    p1 = Pinger(a)
+    p2 = Pinger(a)
+    p1.send("10.0.0.2")
+    p2.send("10.0.0.2")
+    sim.run()
+    assert len(p1.results) == 1
+    assert len(p2.results) == 1
+
+
+def test_closed_pinger_ignores_replies():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    pinger = Pinger(a)
+    pinger.send("10.0.0.2")
+    pinger.close()
+    sim.run()
+    assert pinger.results == []
+
+
+def test_ping_to_self():
+    sim = Simulator()
+    a, _ = linked_pair(sim)
+    pinger = Pinger(a)
+    pinger.send("10.0.0.1")
+    sim.run()
+    assert len(pinger.results) == 1
+    _, rtt = pinger.results[0]
+    assert rtt == 0.0
+
+
+def test_ping_unroutable_raises():
+    sim = Simulator()
+    a, _ = linked_pair(sim)
+    from repro.net.errors import NoRouteError
+
+    pinger = Pinger(a)
+    with pytest.raises(NoRouteError):
+        pinger.send("192.168.99.99")
+
+
+def test_icmp_echo_payload_repr():
+    echo = IcmpEcho("echo-request", 1, 2, 0.0)
+    assert "echo-request" in repr(echo)

@@ -1,0 +1,151 @@
+"""Tests for the packet sniffer."""
+
+import pytest
+
+from repro.net.addressing import PROTO_ICMP
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.sniffer import CaptureFilter, Sniffer
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+
+
+def linked_pair(sim):
+    a = IPStack(sim, "a")
+    b = IPStack(sim, "b")
+    a_eth = a.add_interface(EthernetInterface("eth0"))
+    b_eth = b.add_interface(EthernetInterface("eth0"))
+    a.configure_interface(a_eth, "10.0.0.1", 24)
+    b.configure_interface(b_eth, "10.0.0.2", 24)
+    Link(sim, a_eth, b_eth, delay=0.001)
+    return a, b
+
+
+def send_one(sim, a, b, payload="x", port=9, xid=0):
+    server = b.socket()
+    try:
+        server.bind(port=port)
+    except Exception:
+        pass
+    a.socket(xid=xid).sendto(payload, 10, "10.0.0.2", port)
+    sim.run(until=sim.now + 1.0)
+
+
+def test_captures_tx_and_rx():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"))
+    sniffer.attach(b.iface("eth0"))
+    send_one(sim, a, b)
+    directions = [(r.iface, r.direction) for r in sniffer.records]
+    assert ("eth0", "tx") in directions
+    assert ("eth0", "rx") in directions
+    assert len(sniffer) == 2
+
+
+def test_direction_restriction():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"), directions="tx")
+    sniffer.attach(b.iface("eth0"), directions="tx")
+    send_one(sim, a, b)
+    assert all(r.direction == "tx" for r in sniffer.records)
+    assert len(sniffer) == 1
+
+
+def test_bad_direction_rejected():
+    sim = Simulator()
+    a, _ = linked_pair(sim)
+    with pytest.raises(ValueError):
+        Sniffer(sim).attach(a.iface("eth0"), directions="sideways")
+
+
+def test_filter_by_port():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim, CaptureFilter(port=9))
+    sniffer.attach(a.iface("eth0"), directions="tx")
+    send_one(sim, a, b, port=9)
+    send_one(sim, a, b, port=10)
+    assert len(sniffer) == 1
+    assert sniffer.records[0].packet.dport == 9
+
+
+def test_filter_by_xid():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim, CaptureFilter(xid=510))
+    sniffer.attach(a.iface("eth0"), directions="tx")
+    send_one(sim, a, b, xid=510, port=11)
+    send_one(sim, a, b, xid=0, port=12)
+    assert len(sniffer) == 1
+    assert sniffer.records[0].packet.xid == 510
+
+
+def test_filter_by_host_and_proto():
+    f = CaptureFilter(host="10.0.0.2", proto=PROTO_ICMP)
+    from repro.net.packet import Packet
+
+    icmp_hit = Packet("10.0.0.2", proto=PROTO_ICMP, src="10.0.0.1")
+    udp_miss = Packet("10.0.0.2", src="10.0.0.1")
+    other_host = Packet("10.0.0.9", proto=PROTO_ICMP, src="10.0.0.8")
+    assert f.matches(icmp_hit)
+    assert not f.matches(udp_miss)
+    assert not f.matches(other_host)
+
+
+def test_filter_src_dst():
+    from repro.net.packet import Packet
+
+    f = CaptureFilter(src="10.0.0.1", dst="10.0.0.2")
+    assert f.matches(Packet("10.0.0.2", src="10.0.0.1"))
+    assert not f.matches(Packet("10.0.0.1", src="10.0.0.2"))
+
+
+def test_detach_stops_capture():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"))
+    send_one(sim, a, b, port=13)
+    count = len(sniffer)
+    sniffer.detach_all()
+    send_one(sim, a, b, port=14)
+    assert len(sniffer) == count
+    assert a.iface("eth0").taps == []
+
+
+def test_dump_lines_readable():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"), directions="tx")
+    send_one(sim, a, b, port=15)
+    lines = sniffer.dump()
+    assert len(lines) == 1
+    assert "10.0.0.1" in lines[0] and "10.0.0.2:15" in lines[0]
+    assert "eth0 tx" in lines[0]
+
+
+def test_packets_accessor_filters():
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"))
+    sniffer.attach(b.iface("eth0"))
+    send_one(sim, a, b, port=16)
+    assert len(sniffer.packets(direction="tx")) == 1
+    assert len(sniffer.packets(iface="eth0")) == 2
+
+
+def test_sniffer_proves_mark_on_wire():
+    """The instrument in action: the fwmark is visible at egress."""
+    sim = Simulator()
+    a, b = linked_pair(sim)
+    a.iptables.run("-t mangle -A OUTPUT -m xid --xid 510 -j MARK --set-mark 1")
+    sniffer = Sniffer(sim)
+    sniffer.attach(a.iface("eth0"), directions="tx")
+    send_one(sim, a, b, xid=510, port=17)
+    assert sniffer.records[0].packet.mark == 1

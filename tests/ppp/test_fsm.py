@@ -1,0 +1,234 @@
+"""Unit tests driving the negotiation FSM directly (no transport)."""
+
+import pytest
+
+from repro.ppp.frame import (
+    CONF_ACK,
+    CONF_NAK,
+    CONF_REQ,
+    ECHO_REP,
+    ECHO_REQ,
+    TERM_ACK,
+    TERM_REQ,
+    ControlPacket,
+)
+from repro.ppp.fsm import FsmState, NegotiationFsm
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    """One FSM with captured output and callback flags."""
+
+    def __init__(self, sim, fsm_cls=NegotiationFsm, **kwargs):
+        self.sent = []
+        self.ups = 0
+        self.downs = []
+        self.fails = []
+        self.fsm = fsm_cls(
+            sim,
+            self.sent.append,
+            on_up=lambda: setattr(self, "ups", self.ups + 1),
+            on_down=self.downs.append,
+            on_fail=self.fails.append,
+            **kwargs,
+        )
+
+    def last(self):
+        return self.sent[-1]
+
+
+def test_open_sends_configure_request():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    assert h.fsm.state == FsmState.REQ_SENT
+    assert h.last().code == CONF_REQ
+
+
+def test_open_twice_is_noop():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    count = len(h.sent)
+    h.fsm.open()
+    assert len(h.sent) == count
+
+
+def test_full_handshake_opens():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    our_req = h.last()
+    # Peer acks our request...
+    h.fsm.receive(ControlPacket(CONF_ACK, our_req.identifier))
+    assert h.fsm.state == FsmState.ACK_RCVD
+    # ...and sends its own, which we ack.
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {"x": 1}))
+    assert h.fsm.state == FsmState.OPENED
+    assert h.ups == 1
+    assert h.fsm.peer_options == {"x": 1}
+    assert h.last().code == CONF_ACK
+
+
+def test_handshake_other_order():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    our_req = h.last()
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    assert h.fsm.state == FsmState.ACK_SENT
+    h.fsm.receive(ControlPacket(CONF_ACK, our_req.identifier))
+    assert h.fsm.state == FsmState.OPENED
+
+
+def test_stale_ack_ignored():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, 999))  # wrong identifier
+    assert h.fsm.state == FsmState.REQ_SENT
+
+
+def test_nak_adjusts_options_and_resends():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    first = h.last()
+    h.fsm.receive(ControlPacket(CONF_NAK, first.identifier, {"addr": "10.0.0.9"}))
+    second = h.last()
+    assert second.code == CONF_REQ
+    assert second.identifier != first.identifier
+    assert h.fsm.options["addr"] == "10.0.0.9"
+
+
+def test_retransmission_on_timeout():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    assert len(h.sent) == 1
+    sim.run(until=3.5)
+    assert len(h.sent) == 2
+    assert h.sent[1].code == CONF_REQ
+
+
+def test_negotiation_fails_after_max_configure():
+    sim = Simulator()
+    h = Harness(sim, max_configure=3)
+    h.fsm.open()
+    sim.run(until=60.0)
+    assert h.fsm.state == FsmState.CLOSED
+    assert len(h.fails) == 1
+    assert len(h.sent) == 3
+
+
+def test_terminate_request_closes_and_acks():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, h.last().identifier))
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    assert h.fsm.is_open
+    h.fsm.receive(ControlPacket(TERM_REQ, 7))
+    assert h.fsm.state == FsmState.CLOSED
+    assert h.last().code == TERM_ACK
+    assert h.last().identifier == 7
+    assert h.downs == ["peer terminated"]
+
+
+def test_close_sends_terminate_and_waits_ack():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, h.last().identifier))
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    h.fsm.close("test close")
+    assert h.fsm.state == FsmState.CLOSING
+    assert h.last().code == TERM_REQ
+    assert h.downs == ["test close"]
+    h.fsm.receive(ControlPacket(TERM_ACK, h.last().identifier))
+    assert h.fsm.state == FsmState.CLOSED
+
+
+def test_close_gives_up_after_retries():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.close()
+    sim.run(until=30.0)
+    assert h.fsm.state == FsmState.CLOSED
+
+
+def test_abort_skips_terminate_exchange():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, h.last().identifier))
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    sent_before = len(h.sent)
+    h.fsm.abort("carrier lost")
+    assert h.fsm.state == FsmState.CLOSED
+    assert len(h.sent) == sent_before  # nothing transmitted
+    assert h.downs == ["carrier lost"]
+
+
+def test_echo_request_answered_when_open():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, h.last().identifier))
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    h.fsm.receive(ControlPacket(ECHO_REQ, 42, {"magic": 1}))
+    assert h.last().code == ECHO_REP
+    assert h.last().identifier == 42
+
+
+def test_echo_request_ignored_when_not_open():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    count = len(h.sent)
+    h.fsm.receive(ControlPacket(ECHO_REQ, 42, {}))
+    assert len(h.sent) == count
+
+
+def test_packets_ignored_when_closed():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    assert h.sent == []
+    # ...except TERM_REQ, which is politely acked.
+    h.fsm.receive(ControlPacket(TERM_REQ, 2))
+    assert h.last().code == TERM_ACK
+
+
+def test_renegotiation_from_opened():
+    sim = Simulator()
+    h = Harness(sim)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_ACK, h.last().identifier))
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {}))
+    assert h.fsm.is_open
+    # Peer re-requests: we drop back to ACK_SENT and re-request too.
+    h.fsm.receive(ControlPacket(CONF_REQ, 2, {"mru": 296}))
+    assert h.fsm.state == FsmState.ACK_SENT
+    assert any(p.code == CONF_REQ for p in h.sent[-2:])
+
+
+def test_nak_path_on_check_peer_options():
+    class PickyFsm(NegotiationFsm):
+        def check_peer_options(self, options):
+            if options.get("addr") != "10.0.0.1":
+                merged = dict(options)
+                merged["addr"] = "10.0.0.1"
+                return CONF_NAK, merged
+            return CONF_ACK, options
+
+    sim = Simulator()
+    h = Harness(sim, fsm_cls=PickyFsm)
+    h.fsm.open()
+    h.fsm.receive(ControlPacket(CONF_REQ, 1, {"addr": "0.0.0.0"}))
+    assert h.last().code == CONF_NAK
+    assert h.last().options["addr"] == "10.0.0.1"
+    assert h.fsm.state == FsmState.REQ_SENT
+    h.fsm.receive(ControlPacket(CONF_REQ, 2, {"addr": "10.0.0.1"}))
+    assert h.last().code == CONF_ACK

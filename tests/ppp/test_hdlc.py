@@ -1,0 +1,91 @@
+"""Unit and property tests for HDLC framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppp.hdlc import ESCAPE, FLAG, HdlcError, hdlc_decode, hdlc_encode
+
+
+def test_roundtrip_simple():
+    assert hdlc_decode(hdlc_encode(b"hello ppp")) == b"hello ppp"
+
+
+def test_roundtrip_empty():
+    assert hdlc_decode(hdlc_encode(b"")) == b""
+
+
+def test_flag_octets_delimit_frame():
+    frame = hdlc_encode(b"x")
+    assert frame[0] == FLAG
+    assert frame[-1] == FLAG
+
+
+def test_payload_flags_are_escaped():
+    frame = hdlc_encode(bytes([FLAG, ESCAPE, 0x01]))
+    # No raw flag/escape octets inside the frame body.
+    assert FLAG not in frame[1:-1]
+
+
+def test_corrupted_fcs_rejected():
+    frame = bytearray(hdlc_encode(b"payload"))
+    frame[3] ^= 0xFF
+    with pytest.raises(HdlcError):
+        hdlc_decode(bytes(frame))
+
+
+def test_missing_flags_rejected():
+    with pytest.raises(HdlcError):
+        hdlc_decode(b"\x01\x02\x03")
+
+
+def test_truncated_frame_rejected():
+    with pytest.raises(HdlcError):
+        hdlc_decode(bytes([FLAG, FLAG]))
+
+
+def test_dangling_escape_rejected():
+    with pytest.raises(HdlcError):
+        hdlc_decode(bytes([FLAG, 0x40, 0x40, 0x40, ESCAPE, FLAG]))
+
+
+def test_unescaped_interior_flag_rejected():
+    good = hdlc_encode(b"abcdef")
+    # Splice a raw flag into the body.
+    broken = good[:3] + bytes([FLAG]) + good[3:]
+    with pytest.raises(HdlcError):
+        hdlc_decode(broken)
+
+
+@given(st.binary(min_size=0, max_size=2048))
+@settings(max_examples=200)
+def test_roundtrip_property(payload):
+    assert hdlc_decode(hdlc_encode(payload)) == payload
+
+
+@given(st.binary(min_size=1, max_size=512))
+@settings(max_examples=100)
+def test_encoded_body_has_no_raw_flags(payload):
+    frame = hdlc_encode(payload)
+    assert FLAG not in frame[1:-1]
+
+
+@given(st.binary(min_size=1, max_size=256), st.integers(min_value=0, max_value=255))
+@settings(max_examples=100)
+def test_single_byte_corruption_detected_or_harmless(payload, xor):
+    frame = bytearray(hdlc_encode(payload))
+    if xor == 0:
+        return
+    index = len(frame) // 2
+    if index == 0 or index == len(frame) - 1:
+        return
+    frame[index] ^= xor
+    try:
+        decoded = hdlc_decode(bytes(frame))
+    except HdlcError:
+        return
+    # Corrupting a plain body octet is a <=8-bit burst, which CRC-16
+    # always detects; surviving decodes can only come from corruption
+    # that re-aligned escapes, where CRC detection is probabilistic.
+    # Either way the decoder must return bytes, never crash oddly.
+    assert isinstance(decoded, bytes)

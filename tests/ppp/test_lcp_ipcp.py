@@ -1,0 +1,151 @@
+"""Unit tests for the LCP and IPCP option policies."""
+
+import pytest
+
+from repro.ppp.frame import CONF_ACK, CONF_NAK, CONF_REQ, ControlPacket
+from repro.ppp.ipcp import IpcpClientFsm, IpcpServerFsm
+from repro.ppp.lcp import DEFAULT_MRU, MIN_MRU, LcpFsm
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make(fsm_cls, **kwargs):
+    sim = Simulator()
+    sent = []
+    fsm = fsm_cls(sim, sent.append, **kwargs)
+    return sim, fsm, sent
+
+
+def test_lcp_initial_options_contain_mru_and_magic():
+    _, fsm, _ = make(LcpFsm, rng=RandomStreams(1).stream("m"))
+    options = fsm.initial_options()
+    assert options["mru"] == DEFAULT_MRU
+    assert 0 <= options["magic"] < 2**32
+
+
+def test_lcp_magic_differs_between_rngs():
+    _, a, _ = make(LcpFsm, rng=RandomStreams(1).stream("a"))
+    _, b, _ = make(LcpFsm, rng=RandomStreams(1).stream("b"))
+    assert a.initial_options()["magic"] != b.initial_options()["magic"]
+
+
+def test_lcp_accepts_normal_peer():
+    _, fsm, sent = make(LcpFsm, rng=RandomStreams(1).stream("m"))
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"mru": 1500, "magic": 123}))
+    assert sent[-1].code == CONF_ACK
+
+
+def test_lcp_detects_loopback_magic():
+    _, fsm, sent = make(LcpFsm, rng=RandomStreams(1).stream("m"))
+    fsm.open()
+    own_magic = fsm.options["magic"]
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"mru": 1500, "magic": own_magic}))
+    assert sent[-1].code == CONF_NAK
+    assert fsm.loopback_detected
+    assert sent[-1].options["magic"] != own_magic
+
+
+def test_lcp_naks_tiny_mru():
+    _, fsm, sent = make(LcpFsm, rng=RandomStreams(1).stream("m"))
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"mru": MIN_MRU - 1, "magic": 5}))
+    assert sent[-1].code == CONF_NAK
+    assert sent[-1].options["mru"] == DEFAULT_MRU
+
+
+def test_lcp_negotiated_mru_from_peer():
+    _, fsm, _ = make(LcpFsm, rng=RandomStreams(1).stream("m"))
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"mru": 1400, "magic": 5}))
+    assert fsm.negotiated_mru == 1400
+
+
+def test_ipcp_client_requests_unspecified_address():
+    _, fsm, _ = make(IpcpClientFsm)
+    assert fsm.initial_options() == {"addr": "0.0.0.0"}
+    fsm.open()
+    assert fsm.local_address is None
+
+
+def test_ipcp_client_takes_nak_address():
+    _, fsm, sent = make(IpcpClientFsm)
+    fsm.open()
+    req = sent[-1]
+    fsm.receive(ControlPacket(CONF_NAK, req.identifier, {"addr": "10.199.3.7"}))
+    assert str(fsm.local_address) == "10.199.3.7"
+    assert sent[-1].code == CONF_REQ
+    assert sent[-1].options["addr"] == "10.199.3.7"
+
+
+def test_ipcp_client_peer_address_after_ack():
+    _, fsm, sent = make(IpcpClientFsm)
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"addr": "10.199.0.1"}))
+    assert sent[-1].code == CONF_ACK
+    assert str(fsm.peer_address) == "10.199.0.1"
+
+
+def test_ipcp_client_dns_options():
+    _, fsm, sent = make(IpcpClientFsm)
+    fsm.open()
+    req = sent[-1]
+    fsm.receive(
+        ControlPacket(
+            CONF_NAK,
+            req.identifier,
+            {"addr": "10.199.3.7", "dns1": "10.199.0.53", "dns2": "10.199.0.54"},
+        )
+    )
+    primary, secondary = fsm.dns_servers
+    assert str(primary) == "10.199.0.53"
+    assert str(secondary) == "10.199.0.54"
+
+
+def test_ipcp_client_without_dns():
+    _, fsm, _ = make(IpcpClientFsm)
+    fsm.open()
+    assert fsm.dns_servers == (None, None)
+
+
+def test_ipcp_server_naks_wrong_address():
+    _, fsm, sent = make(
+        IpcpServerFsm, local_address="10.199.0.1", assign_address="10.199.3.7"
+    )
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"addr": "0.0.0.0"}))
+    assert sent[-1].code == CONF_NAK
+    assert sent[-1].options["addr"] == "10.199.3.7"
+
+
+def test_ipcp_server_acks_assigned_address():
+    _, fsm, sent = make(
+        IpcpServerFsm, local_address="10.199.0.1", assign_address="10.199.3.7"
+    )
+    fsm.open()
+    fsm.receive(ControlPacket(CONF_REQ, 1, {"addr": "10.199.3.7"}))
+    assert sent[-1].code == CONF_ACK
+    assert str(fsm.assigned_address) == "10.199.3.7"
+    assert str(fsm.local_address) == "10.199.0.1"
+
+
+def test_ipcp_server_announces_own_address():
+    _, fsm, _ = make(
+        IpcpServerFsm, local_address="10.199.0.1", assign_address="10.199.3.7"
+    )
+    assert fsm.initial_options() == {"addr": "10.199.0.1"}
+
+
+def test_ipcp_server_pushes_dns():
+    _, fsm, sent = make(
+        IpcpServerFsm,
+        local_address="10.199.0.1",
+        assign_address="10.199.3.7",
+        dns1="10.199.0.53",
+    )
+    fsm.open()
+    fsm.receive(
+        ControlPacket(CONF_REQ, 1, {"addr": "10.199.3.7", "dns1": "0.0.0.0"})
+    )
+    assert sent[-1].code == CONF_NAK
+    assert sent[-1].options["dns1"] == "10.199.0.53"

@@ -1,0 +1,269 @@
+"""Integration tests: two pppds negotiating over a frame pipe."""
+
+import pytest
+
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.ppp.daemon import Pppd, PppError
+from repro.ppp.fsm import FsmState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class FramePipe:
+    """A bidirectional frame transport with fixed one-way delay.
+
+    Each side is an object with ``send_frame`` and ``set_receiver``;
+    optionally drops frames to exercise retransmission.
+    """
+
+    class End:
+        def __init__(self, pipe, index):
+            self._pipe = pipe
+            self._index = index
+            self.receiver = None
+
+        def set_receiver(self, callback):
+            self.receiver = callback
+
+        def send_frame(self, frame):
+            self._pipe.transfer(self._index, frame)
+
+    def __init__(self, sim, delay=0.01, drop_first_n=0):
+        self.sim = sim
+        self.delay = delay
+        self.drop_remaining = drop_first_n
+        self.a = FramePipe.End(self, 0)
+        self.b = FramePipe.End(self, 1)
+
+    def transfer(self, from_index, frame):
+        if self.drop_remaining > 0:
+            self.drop_remaining -= 1
+            return
+        peer = self.b if from_index == 0 else self.a
+        if peer.receiver is not None:
+            self.sim.schedule(self.delay, peer.receiver, frame)
+
+
+def make_session(sim, delay=0.01, drop_first_n=0, echo_interval=None):
+    pipe = FramePipe(sim, delay=delay, drop_first_n=drop_first_n)
+    client_stack = IPStack(sim, "mobile")
+    server_stack = IPStack(sim, "ggsn")
+    streams = RandomStreams(7)
+    client = Pppd(
+        sim,
+        client_stack,
+        pipe.a,
+        role="client",
+        ifname="ppp0",
+        rng=streams.stream("client-magic"),
+        echo_interval=echo_interval,
+    )
+    server = Pppd(
+        sim,
+        server_stack,
+        pipe.b,
+        role="server",
+        ifname="ppp-s0",
+        local_address="10.199.0.1",
+        assign_address="10.199.3.7",
+        dns1="10.199.0.53",
+        rng=streams.stream("server-magic"),
+    )
+    return pipe, client, server, client_stack, server_stack
+
+
+def test_full_negotiation_brings_both_sides_up():
+    sim = Simulator()
+    _, client, server, client_stack, server_stack = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    assert client.is_up
+    assert server.is_up
+    assert str(client.iface.address) == "10.199.3.7"
+    assert str(client.iface.peer_address) == "10.199.0.1"
+    assert str(server.iface.address) == "10.199.0.1"
+    assert str(server.iface.peer_address) == "10.199.3.7"
+
+
+def test_negotiation_completes_quickly():
+    sim = Simulator()
+    _, client, server, *_ = make_session(sim, delay=0.05)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    up_times = [t for t in [client.up.last_value] if t is not None]
+    assert client.is_up and server.is_up
+    # A handful of control exchanges at 50 ms one-way: well under 2 s.
+    assert sim.now >= 30.0
+
+
+def test_peer_host_routes_installed():
+    sim = Simulator()
+    _, client, server, client_stack, server_stack = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    assert client_stack.rpdb.main.lookup("10.199.0.1").dev == "ppp0"
+    assert server_stack.rpdb.main.lookup("10.199.3.7").dev == "ppp-s0"
+
+
+def test_no_default_route_added_on_client():
+    sim = Simulator()
+    _, client, server, client_stack, _ = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    assert client_stack.rpdb.lookup("8.8.8.8") is None
+
+
+def test_ip_traffic_flows_over_session():
+    sim = Simulator()
+    _, client, server, client_stack, server_stack = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    got = []
+    srv_sock = server_stack.socket()
+    srv_sock.bind(port=9000)
+    srv_sock.on_receive = lambda payload, src, sport, pkt: got.append(
+        (payload, str(src))
+    )
+    client_stack.socket().sendto("over-ppp", 100, "10.199.0.1", 9000)
+    sim.run(until=60.0)
+    assert got == [("over-ppp", "10.199.3.7")]
+
+
+def test_lost_control_frames_are_retransmitted():
+    sim = Simulator()
+    _, client, server, *_ = make_session(sim, drop_first_n=3)
+    client.start()
+    server.start()
+    sim.run(until=60.0)
+    assert client.is_up and server.is_up
+
+
+def test_negotiation_fails_without_peer():
+    sim = Simulator()
+    pipe = FramePipe(sim)
+    stack = IPStack(sim, "mobile")
+    failures = []
+    client = Pppd(sim, stack, pipe.a, role="client")
+    client.failed.wait(failures.append)
+    client.start()
+    sim.run(until=120.0)
+    assert not client.is_up
+    assert client.lcp.state == FsmState.CLOSED
+    assert failures and "timed out" in failures[0]
+
+
+def test_client_disconnect_tears_down_both_sides():
+    sim = Simulator()
+    _, client, server, client_stack, server_stack = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    reasons = []
+    server.down.wait(reasons.append)
+    client.disconnect("umts stop")
+    sim.run(until=60.0)
+    assert not client.is_up
+    assert not server.is_up
+    assert "ppp0" not in client_stack.interfaces
+    assert "ppp-s0" not in server_stack.interfaces
+    assert reasons == ["peer terminated"]
+
+
+def test_carrier_lost_hard_teardown():
+    sim = Simulator()
+    _, client, server, client_stack, _ = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    client.carrier_lost()
+    assert not client.is_up
+    assert "ppp0" not in client_stack.interfaces
+
+
+def test_up_signal_fires_with_interface():
+    sim = Simulator()
+    _, client, server, *_ = make_session(sim)
+    seen = []
+    client.up.wait(seen.append)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    assert len(seen) == 1
+    assert seen[0].name == "ppp0"
+
+
+def test_server_requires_addresses():
+    sim = Simulator()
+    stack = IPStack(sim, "ggsn")
+    with pytest.raises(PppError):
+        Pppd(sim, stack, FramePipe(sim).b, role="server")
+
+
+def test_unknown_role_rejected():
+    sim = Simulator()
+    stack = IPStack(sim, "x")
+    with pytest.raises(PppError):
+        Pppd(sim, stack, FramePipe(sim).a, role="bridge")
+
+
+def test_echo_keepalive_detects_dead_link():
+    sim = Simulator()
+    pipe, client, server, client_stack, _ = make_session(sim, echo_interval=5.0)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    assert client.is_up
+    # Kill the pipe: echo requests now vanish.
+    pipe.a.send_frame = lambda frame: None
+    client.transport.send_frame = lambda frame: None
+    sim.run(until=120.0)
+    assert not client.is_up
+
+
+def test_echo_keepalive_keeps_healthy_link_up():
+    sim = Simulator()
+    _, client, server, *_ = make_session(sim, echo_interval=5.0)
+    client.start()
+    server.start()
+    sim.run(until=300.0)
+    assert client.is_up
+
+
+def test_reconnect_after_disconnect():
+    sim = Simulator()
+    pipe, client, server, client_stack, server_stack = make_session(sim)
+    client.start()
+    server.start()
+    sim.run(until=30.0)
+    client.disconnect()
+    sim.run(until=60.0)
+    # Fresh daemons over the same pipe: a second dial-up.
+    client2 = Pppd(
+        sim,
+        client_stack,
+        pipe.a,
+        role="client",
+        ifname="ppp0",
+        rng=RandomStreams(9).stream("magic2"),
+    )
+    server2 = Pppd(
+        sim,
+        server_stack,
+        pipe.b,
+        role="server",
+        ifname="ppp-s0",
+        local_address="10.199.0.1",
+        assign_address="10.199.3.8",
+    )
+    client2.start()
+    server2.start()
+    sim.run(until=120.0)
+    assert client2.is_up
+    assert str(client2.iface.address) == "10.199.3.8"

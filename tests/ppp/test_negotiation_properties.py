@@ -1,0 +1,57 @@
+"""Property test: PPP negotiation converges despite early frame loss.
+
+The FSM retransmits Configure-Requests every 3 s (up to 10 times), so
+any loss pattern confined to the first few seconds must still converge
+to OPENED on both sides well within the retry budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.stack import IPStack
+from repro.ppp.daemon import Pppd
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+from tests.ppp.test_negotiation import FramePipe
+
+
+@given(
+    drop_first_n=st.integers(min_value=0, max_value=12),
+    delay_ms=st.integers(min_value=1, max_value=400),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_negotiation_converges_despite_losses(drop_first_n, delay_ms, seed):
+    sim = Simulator()
+    pipe = FramePipe(sim, delay=delay_ms / 1000.0, drop_first_n=drop_first_n)
+    client_stack = IPStack(sim, "mobile")
+    server_stack = IPStack(sim, "ggsn")
+    streams = RandomStreams(seed)
+    client = Pppd(
+        sim,
+        client_stack,
+        pipe.a,
+        role="client",
+        ifname="ppp0",
+        rng=streams.stream("client"),
+    )
+    server = Pppd(
+        sim,
+        server_stack,
+        pipe.b,
+        role="server",
+        ifname="ppp-s",
+        local_address="10.199.0.1",
+        assign_address="10.199.3.7",
+        rng=streams.stream("server"),
+    )
+    client.start()
+    server.start()
+    # Worst case: ~12 losses spread across both FSMs' early packets,
+    # each costing one 3 s restart interval.
+    sim.run(until=120.0)
+    assert client.is_up
+    assert server.is_up
+    assert str(client.iface.address) == "10.199.3.7"
+    assert str(server.iface.peer_address) == "10.199.3.7"

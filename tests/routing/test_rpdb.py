@@ -1,0 +1,127 @@
+"""Unit tests for the routing policy database."""
+
+import pytest
+
+from repro.routing.rpdb import PREF_MAIN, RoutingPolicyDatabase, Rule
+from repro.routing.table import Route
+
+
+def make_rpdb_with_umts():
+    """An RPDB shaped exactly like the paper's back-end leaves it."""
+    rpdb = RoutingPolicyDatabase()
+    rpdb.main.add(Route("143.225.229.0/24", "eth0"))
+    rpdb.main.add(Route("default", "eth0", via="143.225.229.1"))
+    rpdb.table("umts").add(Route("default", "ppp0"))
+    rpdb.add_rule(Rule(100, "umts", fwmark=1))
+    rpdb.add_rule(Rule(101, "umts", src="10.199.3.7/32"))
+    return rpdb
+
+
+def test_fresh_rpdb_has_main_and_default():
+    rpdb = RoutingPolicyDatabase()
+    assert rpdb.has_table("main")
+    assert rpdb.has_table("default")
+    prefs = [r.pref for r in rpdb.rules()]
+    assert prefs == sorted(prefs)
+
+
+def test_unmarked_traffic_uses_main():
+    rpdb = make_rpdb_with_umts()
+    route = rpdb.lookup("138.96.250.100", src="143.225.229.100", mark=0)
+    assert route.dev == "eth0"
+
+
+def test_marked_traffic_uses_umts_table():
+    rpdb = make_rpdb_with_umts()
+    route = rpdb.lookup("138.96.250.100", src="143.225.229.100", mark=1)
+    assert route.dev == "ppp0"
+
+
+def test_source_address_rule_selects_umts():
+    rpdb = make_rpdb_with_umts()
+    route = rpdb.lookup("138.96.250.100", src="10.199.3.7", mark=0)
+    assert route.dev == "ppp0"
+
+
+def test_rule_priority_order_respected():
+    rpdb = RoutingPolicyDatabase()
+    rpdb.table("a").add(Route("default", "devA"))
+    rpdb.table("b").add(Route("default", "devB"))
+    rpdb.add_rule(Rule(10, "a"))
+    rpdb.add_rule(Rule(5, "b"))
+    assert rpdb.lookup("8.8.8.8").dev == "devB"
+
+
+def test_empty_table_falls_through_to_next_rule():
+    rpdb = RoutingPolicyDatabase()
+    rpdb.table("umts")  # exists but empty
+    rpdb.add_rule(Rule(100, "umts", fwmark=1))
+    rpdb.main.add(Route("default", "eth0"))
+    route = rpdb.lookup("8.8.8.8", mark=1)
+    assert route.dev == "eth0"
+
+
+def test_lookup_no_match_returns_none():
+    rpdb = RoutingPolicyDatabase()
+    assert rpdb.lookup("8.8.8.8") is None
+
+
+def test_duplicate_rule_rejected():
+    rpdb = RoutingPolicyDatabase()
+    rpdb.add_rule(Rule(100, "umts", fwmark=1))
+    with pytest.raises(ValueError):
+        rpdb.add_rule(Rule(100, "umts", fwmark=1))
+
+
+def test_delete_rule_by_pref():
+    rpdb = make_rpdb_with_umts()
+    rpdb.delete_rule(pref=100)
+    route = rpdb.lookup("138.96.250.100", mark=1)
+    assert route.dev == "eth0"
+
+
+def test_delete_rule_by_fwmark():
+    rpdb = make_rpdb_with_umts()
+    assert rpdb.delete_rule(fwmark=1) == 1
+
+
+def test_delete_missing_rule_raises():
+    rpdb = RoutingPolicyDatabase()
+    with pytest.raises(ValueError):
+        rpdb.delete_rule(pref=9999)
+
+
+def test_drop_table():
+    rpdb = RoutingPolicyDatabase()
+    rpdb.table("umts").add(Route("default", "ppp0"))
+    rpdb.drop_table("umts")
+    assert not rpdb.has_table("umts")
+
+
+def test_drop_builtin_table_refused():
+    rpdb = RoutingPolicyDatabase()
+    with pytest.raises(ValueError):
+        rpdb.drop_table("main")
+
+
+def test_iif_rule():
+    rpdb = RoutingPolicyDatabase()
+    rpdb.table("t").add(Route("default", "eth1"))
+    rpdb.add_rule(Rule(50, "t", iif="ppp0"))
+    rpdb.main.add(Route("default", "eth0"))
+    assert rpdb.lookup("8.8.8.8", iif="ppp0").dev == "eth1"
+    assert rpdb.lookup("8.8.8.8", iif="eth0").dev == "eth0"
+
+
+def test_main_pref_constant():
+    rpdb = RoutingPolicyDatabase()
+    mains = [r for r in rpdb.rules() if r.table == "main"]
+    assert mains[0].pref == PREF_MAIN
+
+
+def test_rule_repr():
+    rule = Rule(100, "umts", fwmark=1)
+    assert "fwmark 0x1" in repr(rule)
+    assert "lookup umts" in repr(rule)
+    rule2 = Rule(101, "umts", src="10.199.3.7/32")
+    assert "from 10.199.3.7/32" in repr(rule2)

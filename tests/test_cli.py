@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "pppd: ppp0 up" in out
+    assert "locked by: unina_umts" in out
+    assert "demo complete" in out
+
+
+def test_voip_command(capsys):
+    assert main(["--seed", "5", "voip", "--duration", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "UMTS-to-Ethernet" in out
+    assert "Ethernet-to-Ethernet" in out
+    assert "jitter ratio" in out
+    assert "0 vs 0 packets" in out
+
+
+def test_saturation_command(capsys):
+    assert main(["saturation", "--duration", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "RAB grades" in out
+    assert "144k@0s" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["fly"])

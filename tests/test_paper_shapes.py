@@ -1,0 +1,65 @@
+"""Fast sanity checks of the headline paper shapes.
+
+The full 120 s reproductions live in benchmarks/; these 20-30 s
+versions run with the plain test suite so a bare ``pytest tests/``
+already validates that the model produces the paper's qualitative
+results, not just that the machinery holds together.
+"""
+
+import pytest
+
+from repro import PATH_ETHERNET, PATH_UMTS, cbr, run_characterization, voip_g711
+from repro.umts.rab import RabConfig
+from repro.umts.operator import commercial_operator
+
+
+@pytest.fixture(scope="module")
+def voip_pair():
+    return (
+        run_characterization(voip_g711(duration=20.0), path=PATH_UMTS, seed=3),
+        run_characterization(voip_g711(duration=20.0), path=PATH_ETHERNET, seed=3),
+    )
+
+
+def test_voip_meets_72kbps_on_both_paths(voip_pair):
+    umts, ethernet = voip_pair
+    assert umts.summary.mean_bitrate_kbps == pytest.approx(72.0, rel=0.08)
+    assert ethernet.summary.mean_bitrate_kbps == pytest.approx(72.0, rel=0.03)
+
+
+def test_voip_zero_loss_on_both_paths(voip_pair):
+    umts, ethernet = voip_pair
+    assert umts.summary.packets_lost == 0
+    assert ethernet.summary.packets_lost == 0
+
+
+def test_voip_umts_jitter_and_rtt_dominate(voip_pair):
+    umts, ethernet = voip_pair
+    assert umts.summary.mean_jitter > 10 * ethernet.summary.mean_jitter
+    assert umts.summary.mean_rtt > 5 * ethernet.summary.mean_rtt
+    assert ethernet.summary.mean_rtt < 0.03
+
+
+def test_saturation_plateau_at_initial_grade():
+    # With a fast-upgrading config the plateau/upgrade shape shows in 30 s.
+    def quick_operator(sim, streams):
+        return commercial_operator(
+            sim, streams, rab_config=RabConfig(sustain_time=10.0, grant_delay=2.0)
+        )
+
+    result = run_characterization(
+        cbr(duration=30.0), path=PATH_UMTS, seed=3, operator_factory=quick_operator
+    )
+    bitrate = result.bitrate_kbps()
+    early = bitrate.between(2.0, 10.0).mean()
+    late = bitrate.between(18.0, 28.0).mean()
+    assert 110.0 < early < 180.0  # the ~150 kbit/s plateau
+    assert late > 2.0 * early  # "more than doubled"
+    assert result.summary.max_rtt > 1.5  # seconds-deep RLC queueing
+    assert result.summary.loss_fraction > 0.5
+
+
+def test_ethernet_carries_the_megabit():
+    result = run_characterization(cbr(duration=15.0), path=PATH_ETHERNET, seed=3)
+    assert result.summary.mean_bitrate_kbps == pytest.approx(1000.0, rel=0.03)
+    assert result.summary.packets_lost == 0

@@ -1,0 +1,104 @@
+"""Tests for the §3 experiment runner (short flows for speed)."""
+
+import pytest
+
+from repro.testbed.experiment import (
+    PATH_ETHERNET,
+    PATH_UMTS,
+    ExperimentError,
+    run_characterization,
+    run_repetitions,
+)
+from repro.traffic.flows import cbr, voip_g711
+from repro.umts.operator import private_microcell
+
+
+def test_unknown_path_rejected():
+    with pytest.raises(ExperimentError):
+        run_characterization(voip_g711(duration=1.0), path="carrier-pigeon")
+
+
+def test_voip_over_ethernet():
+    result = run_characterization(voip_g711(duration=5.0), path=PATH_ETHERNET, seed=1)
+    s = result.summary
+    assert s.packets_sent == pytest.approx(500, abs=2)
+    assert s.packets_lost == 0
+    assert s.mean_bitrate_kbps == pytest.approx(72.0, rel=0.05)
+    assert s.mean_rtt < 0.05
+    assert result.rab_history is None
+
+
+def test_voip_over_umts():
+    result = run_characterization(voip_g711(duration=5.0), path=PATH_UMTS, seed=1)
+    s = result.summary
+    assert s.packets_lost == 0
+    assert s.mean_bitrate_kbps == pytest.approx(72.0, rel=0.1)
+    assert s.mean_rtt > 0.1
+    assert result.rab_history is not None
+
+
+def test_umts_experiment_cleans_up():
+    result = run_characterization(voip_g711(duration=3.0), path=PATH_UMTS, seed=2)
+    scenario = result.scenario
+    assert not scenario.napoli.umts_backend.lock.locked
+    assert "ppp0" not in scenario.napoli.stack.interfaces
+    assert scenario.operator.calls == []
+
+
+def test_umts_probe_source_is_mobile_address():
+    result = run_characterization(voip_g711(duration=2.0), path=PATH_UMTS, seed=3)
+    # Receiver saw packets; the scenario's eth address saw none of them.
+    log = result.receiver.log_for(result.sender.flow_id)
+    assert log.packets_received > 0
+    # All RTT probes completed => replies reached the mobile address.
+    assert len(result.sender.log.rtt) == log.packets_received
+
+
+def test_series_accessors():
+    result = run_characterization(voip_g711(duration=3.0), path=PATH_ETHERNET, seed=4)
+    assert len(result.bitrate_kbps()) > 10
+    assert len(result.jitter_series()) > 10
+    assert len(result.loss_series()) > 10
+    assert len(result.rtt_series()) > 10
+
+
+def test_saturation_loses_packets_on_umts():
+    result = run_characterization(cbr(duration=10.0), path=PATH_UMTS, seed=5)
+    s = result.summary
+    assert s.loss_fraction > 0.5
+    assert s.mean_rtt > 1.0
+
+
+def test_reusing_scenario_for_both_paths():
+    # Ethernet first, then UMTS, on the same scenario instance.
+    result_eth = run_characterization(
+        voip_g711(duration=2.0), path=PATH_ETHERNET, seed=6
+    )
+    scenario = result_eth.scenario
+    result_umts = run_characterization(
+        voip_g711(duration=2.0, dport=9001), path=PATH_UMTS, scenario=scenario
+    )
+    assert result_umts.summary.packets_received > 0
+
+
+def test_repetitions_return_per_run_summaries():
+    summaries = run_repetitions(
+        lambda: voip_g711(duration=2.0),
+        path=PATH_ETHERNET,
+        repetitions=3,
+        base_seed=100,
+    )
+    assert len(summaries) == 3
+    for s in summaries:
+        assert s.packets_lost == 0
+
+
+def test_operator_factory_plumbs_through():
+    result = run_characterization(
+        voip_g711(duration=2.0),
+        path=PATH_UMTS,
+        seed=7,
+        operator_factory=private_microcell,
+    )
+    assert not result.scenario.operator.ggsn.block_inbound
+    assert result.summary.packets_received > 0

@@ -1,0 +1,122 @@
+"""Tests for the extensions: multi-node UMTS and downlink direction."""
+
+import pytest
+
+from repro.core.frontend import UmtsCommand
+from repro.net.addressing import ip
+from repro.testbed.experiment import (
+    DIRECTION_DOWNLINK,
+    PATH_ETHERNET,
+    PATH_UMTS,
+    ExperimentError,
+    run_characterization,
+)
+from repro.testbed.scenarios import OneLabScenario
+from repro.traffic.flows import cbr, voip_g711
+
+
+def test_add_umts_node_builds_complete_site():
+    scenario = OneLabScenario(seed=50)
+    berlin = scenario.add_umts_node(
+        "planetlab1.tu-berlin.de", "141.23.15.100", "141.23.15.1"
+    )
+    assert berlin.address == "141.23.15.100"
+    assert berlin.umts_backend is not None
+    assert scenario.slice.name in berlin.slivers
+    assert len(scenario.operator.cells) == 2
+
+
+def test_two_umts_nodes_dial_concurrently():
+    scenario = OneLabScenario(seed=51)
+    berlin = scenario.add_umts_node(
+        "planetlab1.tu-berlin.de", "141.23.15.100", "141.23.15.1"
+    )
+    napoli_umts = scenario.umts_command()
+    berlin_umts = UmtsCommand(berlin.slivers[scenario.slice.name])
+    assert napoli_umts.start_blocking().ok
+    assert berlin_umts.start_blocking().ok
+    # Two sessions, two distinct pool addresses.
+    assert scenario.operator.ggsn.pool.in_use == 2
+    addr_a = scenario.napoli.connection.address()
+    addr_b = berlin.connection.address()
+    assert addr_a != addr_b
+    assert ip(addr_a) in scenario.operator.ggsn.pool.prefix
+    assert ip(addr_b) in scenario.operator.ggsn.pool.prefix
+    # Locks are per node: each slice sliver holds its own interface.
+    assert scenario.napoli.umts_backend.lock.holder == scenario.slice.name
+    assert berlin.umts_backend.lock.holder == scenario.slice.name
+    assert berlin_umts.stop_blocking().ok
+    assert scenario.operator.ggsn.pool.in_use == 1
+    assert napoli_umts.stop_blocking().ok
+    assert scenario.operator.ggsn.pool.in_use == 0
+
+
+def test_two_mobile_nodes_exchange_traffic():
+    """UMTS-to-UMTS: both endpoints behind the operator."""
+    scenario = OneLabScenario(seed=52)
+    berlin = scenario.add_umts_node(
+        "planetlab1.tu-berlin.de", "141.23.15.100", "141.23.15.1"
+    )
+    UmtsCommand(scenario.napoli_sliver).start_blocking()
+    UmtsCommand(berlin.slivers[scenario.slice.name]).start_blocking()
+    napoli_mobile = scenario.napoli.connection.address()
+    berlin_mobile = berlin.connection.address()
+    got = []
+    # Berlin listens on its mobile address.
+    server = berlin.slivers[scenario.slice.name].socket()
+    server.bind(address=ip(berlin_mobile), port=9000)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(
+        (payload, str(src))
+    )
+    # Napoli sends from its mobile address (bound), mobile-to-mobile.
+    client = scenario.napoli_sliver.socket()
+    client.bind(address=ip(napoli_mobile))
+    client.sendto("mobile-to-mobile", 50, berlin_mobile, 9000)
+    scenario.sim.run(until=scenario.sim.now + 10.0)
+    assert got == [("mobile-to-mobile", napoli_mobile)]
+
+
+def test_downlink_umts_voip():
+    result = run_characterization(
+        voip_g711(duration=5.0, meter="owd"),
+        path=PATH_UMTS,
+        seed=53,
+        direction=DIRECTION_DOWNLINK,
+    )
+    s = result.summary
+    assert s.packets_lost == 0
+    assert s.mean_bitrate_kbps == pytest.approx(72.0, rel=0.1)
+    # Downlink OWD reflects the radio path (tens of ms), not queueing.
+    assert 0.05 < s.mean_owd < 0.3
+
+
+def test_downlink_umts_capacity_exceeds_uplink():
+    """The asymmetry: 1 Mbit/s flows downlink where uplink chokes."""
+    down = run_characterization(
+        cbr(duration=15.0, meter="owd"),
+        path=PATH_UMTS,
+        seed=54,
+        direction=DIRECTION_DOWNLINK,
+    )
+    up = run_characterization(
+        cbr(duration=15.0, meter="owd"), path=PATH_UMTS, seed=54
+    )
+    assert down.summary.loss_fraction < 0.01
+    assert down.summary.mean_bitrate_kbps > 900.0
+    assert up.summary.loss_fraction > 0.5
+
+
+def test_downlink_ethernet():
+    result = run_characterization(
+        voip_g711(duration=3.0),
+        path=PATH_ETHERNET,
+        seed=55,
+        direction=DIRECTION_DOWNLINK,
+    )
+    assert result.summary.packets_lost == 0
+    assert result.summary.mean_rtt < 0.05
+
+
+def test_unknown_direction_rejected():
+    with pytest.raises(ExperimentError):
+        run_characterization(voip_g711(duration=1.0), direction="sideways")

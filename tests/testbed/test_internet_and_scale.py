@@ -1,0 +1,110 @@
+"""Tests for the Internet core and many-node scale."""
+
+import pytest
+
+from repro.core.frontend import UmtsCommand
+from repro.net.icmp import Pinger
+from repro.net.interface import EthernetInterface
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams, UniformVariate
+from repro.testbed.internet import Internet
+from repro.testbed.scenarios import OneLabScenario
+
+
+def test_attach_creates_router_interface():
+    sim = Simulator()
+    internet = Internet(sim)
+    host = IPStack(sim, "host")
+    eth = host.add_interface(EthernetInterface("eth0"))
+    host.configure_interface(eth, "10.5.0.100", 24)
+    internet.attach(eth, "10.5.0.1", 24)
+    host.ip.route_add("default", "eth0", via="10.5.0.1")
+    assert internet.router.is_local_address("10.5.0.1")
+
+
+def test_attach_names_are_unique():
+    sim = Simulator()
+    internet = Internet(sim)
+    for i in range(3):
+        host = IPStack(sim, f"h{i}")
+        eth = host.add_interface(EthernetInterface("eth0"))
+        host.configure_interface(eth, f"10.{i}.0.100", 24)
+        internet.attach(eth, f"10.{i}.0.1", 24)
+    assert len(internet.router.interfaces) == 4  # lo + 3
+
+
+def test_attach_with_jitter_needs_rng():
+    sim = Simulator()
+    internet = Internet(sim)
+    host = IPStack(sim, "host")
+    eth = host.add_interface(EthernetInterface("eth0"))
+    host.configure_interface(eth, "10.5.0.100", 24)
+    with pytest.raises(ValueError):
+        internet.attach(eth, "10.5.0.1", 24, jitter=UniformVariate(0, 0.001))
+    internet2 = Internet(sim, "core2")
+    internet2.attach(
+        eth,
+        "10.5.0.1",
+        24,
+        jitter=UniformVariate(0, 0.001),
+        rng=RandomStreams(0).stream("j"),
+    )
+
+
+def test_three_hosts_full_mesh_reachability():
+    sim = Simulator()
+    internet = Internet(sim)
+    hosts = []
+    for i in range(3):
+        host = IPStack(sim, f"h{i}")
+        eth = host.add_interface(EthernetInterface("eth0"))
+        host.configure_interface(eth, f"10.{i}.0.100", 24)
+        internet.attach(eth, f"10.{i}.0.1", 24)
+        host.ip.route_add("default", "eth0", via=f"10.{i}.0.1")
+        hosts.append(host)
+    results = []
+    for i, src in enumerate(hosts):
+        for j, dst in enumerate(hosts):
+            if i == j:
+                continue
+            pinger = Pinger(src)
+            pinger.send(f"10.{j}.0.100")
+            results.append(pinger)
+    sim.run(until=5.0)
+    assert all(len(p.results) == 1 for p in results)
+
+
+def test_five_umts_nodes_dial_concurrently():
+    """Scale: the operator serves several PlanetLab sites at once."""
+    scenario = OneLabScenario(seed=60)
+    nodes = [scenario.napoli]
+    for i in range(4):
+        nodes.append(
+            scenario.add_umts_node(
+                f"planetlab{i}.example.org", f"10.{60 + i}.0.100", f"10.{60 + i}.0.1"
+            )
+        )
+    commands = [
+        UmtsCommand(node.slivers[scenario.slice.name]) for node in nodes
+    ]
+    results = [command.start_blocking() for command in commands]
+    assert all(result.ok for result in results)
+    assert scenario.operator.ggsn.pool.in_use == 5
+    addresses = {node.connection.address() for node in nodes}
+    assert len(addresses) == 5
+    # Each can reach INRIA over its own UMTS path.
+    got = []
+    server = scenario.inria_sliver.socket()
+    server.bind(port=9000)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(str(src))
+    for node, command in zip(nodes, commands):
+        command.add_destination_blocking(scenario.inria_addr)
+        node.slivers[scenario.slice.name].socket().sendto(
+            "x", 40, scenario.inria_addr, 9000
+        )
+    scenario.sim.run(until=scenario.sim.now + 15.0)
+    assert sorted(got) == sorted(addresses)
+    for command in commands:
+        assert command.stop_blocking().ok
+    assert scenario.operator.ggsn.pool.in_use == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the kernel module registry."""
+
+import pytest
+
+from repro.testbed.kernel import (
+    CARD_MODULE_SETS,
+    PPP_MODULE_SET,
+    KernelModuleRegistry,
+    ModuleError,
+)
+
+
+def test_fresh_registry_empty():
+    reg = KernelModuleRegistry()
+    assert reg.loaded_modules() == []
+    assert not reg.is_loaded("ppp_generic")
+
+
+def test_load_pulls_dependencies():
+    reg = KernelModuleRegistry()
+    reg.load("ppp_async")
+    assert reg.is_loaded("ppp_async")
+    assert reg.is_loaded("ppp_generic")
+    assert reg.is_loaded("crc_ccitt")
+    assert reg.is_loaded("slhc")
+
+
+def test_load_unknown_module():
+    reg = KernelModuleRegistry()
+    with pytest.raises(ModuleError):
+        reg.load("floppy")
+
+
+def test_unload():
+    reg = KernelModuleRegistry()
+    reg.load("nozomi")
+    reg.unload("nozomi")
+    assert not reg.is_loaded("nozomi")
+
+
+def test_unload_in_use_refused():
+    reg = KernelModuleRegistry()
+    reg.load("pl2303")
+    with pytest.raises(ModuleError):
+        reg.unload("usbserial")
+    reg.unload("pl2303")
+    reg.unload("usbserial")
+
+
+def test_unload_not_loaded():
+    reg = KernelModuleRegistry()
+    with pytest.raises(ModuleError):
+        reg.unload("nozomi")
+
+
+def test_load_umts_support_nozomi():
+    reg = KernelModuleRegistry()
+    loaded = reg.load_umts_support("nozomi")
+    for module in PPP_MODULE_SET:
+        assert reg.is_loaded(module)
+    assert reg.is_loaded("nozomi")
+    assert not reg.is_loaded("usbserial")
+    assert "nozomi" in loaded
+
+
+def test_load_umts_support_usbserial():
+    reg = KernelModuleRegistry()
+    reg.load_umts_support("usbserial")
+    assert reg.is_loaded("pl2303")
+    assert reg.is_loaded("usbserial")
+
+
+def test_load_umts_support_unknown_card():
+    reg = KernelModuleRegistry()
+    with pytest.raises(ModuleError):
+        reg.load_umts_support("broadcom")
+
+
+def test_has_umts_support():
+    reg = KernelModuleRegistry()
+    assert not reg.has_umts_support("nozomi")
+    reg.load_umts_support("nozomi")
+    assert reg.has_umts_support("nozomi")
+    assert not reg.has_umts_support("usbserial")
+
+
+def test_paper_module_list_is_covered():
+    # The exact list from §2.3 of the paper.
+    for module in [
+        "ppp_generic",
+        "ppp_filter",
+        "ppp_async",
+        "ppp_sync_tty",
+        "ppp_deflate",
+        "ppp_bsdcomp",
+        "pl2303",
+        "usbserial",
+        "nozomi",
+    ]:
+        reg = KernelModuleRegistry()
+        reg.load(module)
+        assert reg.is_loaded(module)
+
+
+def test_card_module_sets_match_cards():
+    from repro.modem.cards import GlobetrotterGT3G, HuaweiE620
+
+    assert GlobetrotterGT3G.required_module in CARD_MODULE_SETS
+    assert HuaweiE620.required_module in CARD_MODULE_SETS

@@ -1,0 +1,192 @@
+"""Tests for PlanetLab node assembly and the OneLab scenario."""
+
+import pytest
+
+from repro.core.errors import HardwareMissingError
+from repro.modem.cards import GlobetrotterGT3G, HuaweiE620
+from repro.net.icmp import Pinger
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.testbed.internet import Internet
+from repro.testbed.planetlab import PlanetLabNode
+from repro.testbed.scenarios import OneLabScenario
+from repro.umts.operator import commercial_operator, private_microcell
+from repro.vserver.slice import Slice
+
+
+def make_node(sim=None, name="node-a"):
+    sim = sim or Simulator()
+    return sim, PlanetLabNode(sim, name, RandomStreams(0))
+
+
+def test_attach_lan_sets_address_and_route():
+    sim = Simulator()
+    internet = Internet(sim)
+    _, node = make_node(sim)
+    node.attach_lan(internet, "143.225.229.100", "143.225.229.1")
+    assert node.address == "143.225.229.100"
+    assert node.stack.rpdb.lookup("8.8.8.8").dev == "eth0"
+
+
+def test_two_nodes_ping_through_internet():
+    sim = Simulator()
+    internet = Internet(sim)
+    _, a = make_node(sim, "a")
+    _, b = make_node(sim, "b")
+    a.attach_lan(internet, "10.1.0.100", "10.1.0.1")
+    b.attach_lan(internet, "10.2.0.100", "10.2.0.1")
+    pinger = Pinger(a.stack)
+    pinger.send("10.2.0.100")
+    sim.run(until=5.0)
+    assert len(pinger.results) == 1
+
+
+def test_create_sliver_and_resolve_xid():
+    _, node = make_node()
+    sl = Slice("unina_umts", 510)
+    node.create_sliver(sl)
+    assert node.resolve_xid("unina_umts") == 510
+    with pytest.raises(ValueError):
+        node.create_sliver(sl)
+
+
+def test_install_umts_card_loads_modules():
+    sim = Simulator()
+    streams = RandomStreams(0)
+    node = PlanetLabNode(sim, "n", streams)
+    operator = commercial_operator(sim, streams)
+    cell = operator.new_cell()
+    node.install_umts_card(GlobetrotterGT3G, cell, apn=operator.apn)
+    assert node.kernel.is_loaded("nozomi")
+    assert node.kernel.is_loaded("ppp_generic")
+    assert node.modem is not None
+    assert "umts" in node.vsys.scripts()
+
+
+def test_install_without_modules_fails():
+    sim = Simulator()
+    streams = RandomStreams(0)
+    node = PlanetLabNode(sim, "n", streams)
+    operator = commercial_operator(sim, streams)
+    cell = operator.new_cell()
+    with pytest.raises(HardwareMissingError):
+        node.install_umts_card(
+            GlobetrotterGT3G, cell, apn=operator.apn, load_modules=False
+        )
+
+
+def test_install_twice_fails():
+    sim = Simulator()
+    streams = RandomStreams(0)
+    node = PlanetLabNode(sim, "n", streams)
+    operator = commercial_operator(sim, streams)
+    cell = operator.new_cell()
+    node.install_umts_card(GlobetrotterGT3G, cell, apn=operator.apn)
+    with pytest.raises(HardwareMissingError):
+        node.install_umts_card(HuaweiE620, cell, apn=operator.apn)
+
+
+def test_authorize_requires_card():
+    _, node = make_node()
+    with pytest.raises(HardwareMissingError):
+        node.authorize_umts("unina_umts")
+
+
+def test_scenario_builds_consistently():
+    scenario = OneLabScenario(seed=0)
+    assert scenario.napoli.address == "143.225.229.100"
+    assert scenario.inria.address == "138.96.250.100"
+    assert scenario.napoli_sliver.xid == 510
+    assert scenario.inria_sliver.xid == 510
+    assert scenario.napoli.umts_backend is not None
+    assert scenario.inria.umts_backend is None
+
+
+def test_scenario_ethernet_path_works():
+    scenario = OneLabScenario(seed=0)
+    got = []
+    server = scenario.inria_sliver.socket()
+    server.bind(port=7777)
+    server.on_receive = lambda payload, *a: got.append(payload)
+    scenario.napoli_sliver.socket().sendto("wired", 10, scenario.inria_addr, 7777)
+    scenario.sim.run(until=2.0)
+    assert got == ["wired"]
+
+
+def test_scenario_ethernet_rtt_about_20ms():
+    scenario = OneLabScenario(seed=0)
+    pinger = Pinger(scenario.napoli.stack)
+    pinger.send(scenario.inria_addr)
+    scenario.sim.run(until=2.0)
+    _, rtt = pinger.results[0]
+    assert 0.015 < rtt < 0.030
+
+
+def test_scenario_with_huawei_card():
+    scenario = OneLabScenario(seed=0, card_cls=HuaweiE620)
+    assert scenario.napoli.kernel.is_loaded("pl2303")
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+
+
+def test_scenario_private_microcell():
+    scenario = OneLabScenario(seed=0, operator_factory=private_microcell)
+    assert not scenario.operator.ggsn.block_inbound
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+
+
+def test_scenario_seed_determinism():
+    a = OneLabScenario(seed=42)
+    b = OneLabScenario(seed=42)
+    ua, ub = a.umts_command(), b.umts_command()
+    ra, rb = ua.start_blocking(), ub.start_blocking()
+    assert ra.lines == rb.lines
+    assert a.sim.now == b.sim.now
+
+
+def test_nodes_have_planetlab_bwlimit():
+    scenario = OneLabScenario(seed=0)
+    assert scenario.napoli.bwlimiter is not None
+    assert scenario.napoli.bwlimiter.limit_of(510)[0] == 10_000_000.0
+
+
+def test_bwlimit_caps_slice_on_eth0():
+    scenario = OneLabScenario(seed=0)
+    scenario.napoli.bwlimiter.set_limit(510, rate_bps=80_000.0, burst_bytes=2000)
+    got = []
+    server = scenario.inria_sliver.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(1)
+    sock = scenario.napoli_sliver.socket()
+    sim = scenario.sim
+
+    def tick(remaining=[300]):
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        sock.sendto("x", 1000, scenario.inria_addr, 9)
+        sim.schedule(0.002, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(until=1.0)
+    # 10 kB/s + 2 kB burst: far fewer than the 300 offered.
+    assert len(got) < 20
+
+
+def test_umts_path_bypasses_eth0_bwlimit():
+    scenario = OneLabScenario(seed=1)
+    scenario.napoli.bwlimiter.set_limit(510, rate_bps=8_000.0, burst_bytes=1000)
+    umts = scenario.umts_command()
+    assert umts.start_blocking().ok
+    assert umts.add_destination_blocking(scenario.inria_addr).ok
+    got = []
+    server = scenario.inria_sliver.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(1)
+    sock = scenario.napoli_sliver.socket()
+    for _ in range(20):
+        sock.sendto("x", 500, scenario.inria_addr, 9)
+    scenario.sim.run(until=scenario.sim.now + 10.0)
+    # All 20 arrive over ppp0 despite the draconian eth0 cap.
+    assert len(got) == 20

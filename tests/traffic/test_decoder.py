@@ -1,0 +1,198 @@
+"""Unit and property tests for ITGDec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.decoder import ItgDecoder
+from repro.traffic.records import (
+    ReceiverLog,
+    RecvRecord,
+    RttRecord,
+    SenderLog,
+    SentRecord,
+)
+
+
+def build_logs(sent, received, rtts=()):
+    """sent: [(seq, size, t)], received: [(seq, size, sent_at, recv_at)]."""
+    s = SenderLog(1)
+    for seq, size, t in sent:
+        s.sent.append(SentRecord(seq, size, t))
+    r = ReceiverLog(1)
+    for seq, size, st_, rt in received:
+        r.add(RecvRecord(seq, size, st_, rt))
+    for seq, rtt, done in rtts:
+        s.rtt.append(RttRecord(seq, rtt, done))
+    return s, r
+
+
+def test_flow_id_mismatch_rejected():
+    s = SenderLog(1)
+    r = ReceiverLog(2)
+    with pytest.raises(ValueError):
+        ItgDecoder(s, r)
+
+
+def test_invalid_window_rejected():
+    s, r = build_logs([(0, 100, 0.0)], [])
+    with pytest.raises(ValueError):
+        ItgDecoder(s, r, window=0)
+
+
+def test_bitrate_series_simple():
+    # 5 packets of 1000 B arriving in the first window.
+    sent = [(i, 1000, i * 0.01) for i in range(5)]
+    received = [(i, 1000, i * 0.01, i * 0.01 + 0.05) for i in range(5)]
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.bitrate_kbps()
+    # 5000 B * 8 / 0.2 s = 200 kbit/s in window 0.
+    assert series.values[0] == pytest.approx(200.0)
+
+
+def test_bitrate_uses_arrival_time():
+    sent = [(0, 1000, 0.0)]
+    received = [(0, 1000, 0.0, 0.5)]  # delivered in the third window
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.bitrate_kbps()
+    assert series.values[0] == 0.0
+    assert series.values[2] == pytest.approx(1000 * 8 / 0.2 / 1000)
+
+
+def test_owd_series():
+    sent = [(i, 100, i * 0.1) for i in range(4)]
+    received = [(i, 100, i * 0.1, i * 0.1 + 0.03) for i in range(4)]
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.owd_series()
+    values = [v for v in series.values if not math.isnan(v)]
+    assert all(v == pytest.approx(0.03) for v in values)
+
+
+def test_jitter_series_constant_delay_is_zero():
+    sent = [(i, 100, i * 0.01) for i in range(50)]
+    received = [(i, 100, i * 0.01, i * 0.01 + 0.05) for i in range(50)]
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.jitter_series()
+    values = [v for v in series.values if not math.isnan(v)]
+    assert all(v == pytest.approx(0.0) for v in values)
+
+
+def test_jitter_series_alternating_delay():
+    sent = [(i, 100, i * 0.01) for i in range(40)]
+    received = [
+        (i, 100, i * 0.01, i * 0.01 + (0.05 if i % 2 else 0.07)) for i in range(40)
+    ]
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.jitter_series()
+    values = [v for v in series.values if not math.isnan(v)]
+    assert values[0] == pytest.approx(0.02)
+
+
+def test_loss_series_counts_missing_seqs():
+    sent = [(i, 100, i * 0.01) for i in range(40)]  # 0.0 .. 0.39
+    received = [(i, 100, i * 0.01, i * 0.01 + 0.01) for i in range(40) if i % 2 == 0]
+    dec = ItgDecoder(*build_logs(sent, received))
+    series = dec.loss_series()
+    # Half of each window's 20 packets lost.
+    assert series.values[0] == pytest.approx(10.0)
+    assert series.values[1] == pytest.approx(10.0)
+    assert sum(series.values) == pytest.approx(20.0)
+
+
+def test_rtt_series():
+    sent = [(i, 100, i * 0.01) for i in range(10)]
+    rtts = [(i, 0.2, i * 0.01 + 0.2) for i in range(10)]
+    received = [(i, 100, i * 0.01, i * 0.01 + 0.1) for i in range(10)]
+    dec = ItgDecoder(*build_logs(sent, received, rtts))
+    series = dec.rtt_series()
+    assert series.values[0] == pytest.approx(0.2)
+
+
+def test_origin_is_first_send():
+    sent = [(0, 100, 5.0), (1, 100, 5.1)]
+    received = [(0, 100, 5.0, 5.05), (1, 100, 5.1, 5.15)]
+    dec = ItgDecoder(*build_logs(sent, received))
+    assert dec.origin == 5.0
+    series = dec.bitrate_kbps()
+    assert series.times[0] == 0.0
+    assert series.values[0] > 0
+
+
+def test_summary_totals():
+    sent = [(i, 1000, i * 0.01) for i in range(100)]
+    received = [(i, 1000, i * 0.01, i * 0.01 + 0.05) for i in range(80)]
+    rtts = [(i, 0.1, i * 0.01 + 0.1) for i in range(80)]
+    dec = ItgDecoder(*build_logs(sent, received, rtts))
+    summary = dec.summary()
+    assert summary.packets_sent == 100
+    assert summary.packets_received == 80
+    assert summary.packets_lost == 20
+    assert summary.loss_fraction == pytest.approx(0.2)
+    assert summary.mean_owd == pytest.approx(0.05)
+    assert summary.mean_rtt == pytest.approx(0.1)
+    assert summary.max_rtt == pytest.approx(0.1)
+
+
+def test_summary_empty_logs():
+    dec = ItgDecoder(SenderLog(1), ReceiverLog(1))
+    summary = dec.summary()
+    assert summary.packets_sent == 0
+    assert math.isnan(summary.mean_owd)
+    assert math.isnan(summary.loss_fraction)
+
+
+def test_duplicates_ignored():
+    r = ReceiverLog(1)
+    r.add(RecvRecord(0, 100, 0.0, 0.1))
+    r.add(RecvRecord(0, 100, 0.0, 0.2))
+    assert r.packets_received == 1
+    assert r.duplicates == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50)
+def test_loss_conservation_property(events):
+    """sum(loss series) == sent - received, always."""
+    events = sorted(events, key=lambda e: e[0])
+    s = SenderLog(1)
+    r = ReceiverLog(1)
+    for seq, (t, arrives) in enumerate(events):
+        s.sent.append(SentRecord(seq, 100, t))
+        if arrives:
+            r.add(RecvRecord(seq, 100, t, t + 0.05))
+    dec = ItgDecoder(s, r)
+    total_loss = sum(dec.loss_series().values)
+    assert total_loss == pytest.approx(s.packets_sent - r.packets_received)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50)
+def test_bitrate_conservation_property(times):
+    """sum(bitrate * window) == total bytes delivered * 8."""
+    times = sorted(times)
+    s = SenderLog(1)
+    r = ReceiverLog(1)
+    for seq, t in enumerate(times):
+        s.sent.append(SentRecord(seq, 500, t))
+        r.add(RecvRecord(seq, 500, t, t + 0.01))
+    dec = ItgDecoder(s, r)
+    series = dec.bitrate_kbps()
+    total_bits = sum(v * 0.2 * 1000.0 for v in series.values)
+    assert total_bits == pytest.approx(r.bytes_received * 8.0, rel=1e-6)

@@ -1,0 +1,125 @@
+"""Tests for packet-log persistence (the offline ITGDec workflow)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.decoder import ItgDecoder
+from repro.traffic.logfile import (
+    LogFormatError,
+    load_receiver_log,
+    load_sender_log,
+    save_receiver_log,
+    save_sender_log,
+)
+from repro.traffic.records import (
+    ReceiverLog,
+    RecvRecord,
+    RttRecord,
+    SenderLog,
+    SentRecord,
+)
+
+
+def make_logs():
+    sender = SenderLog(7, "voip-g711")
+    receiver = ReceiverLog(7, "voip-g711")
+    for seq in range(20):
+        sender.sent.append(SentRecord(seq, 90, seq * 0.01))
+        if seq % 5 != 4:
+            receiver.add(RecvRecord(seq, 90, seq * 0.01, seq * 0.01 + 0.1))
+            sender.rtt.append(RttRecord(seq, 0.2, seq * 0.01 + 0.2))
+    sender.send_errors = 3
+    return sender, receiver
+
+
+def test_sender_roundtrip(tmp_path):
+    sender, _ = make_logs()
+    path = save_sender_log(sender, tmp_path / "send.log")
+    loaded = load_sender_log(path)
+    assert loaded.flow_id == 7
+    assert loaded.name == "voip-g711"
+    assert loaded.sent == sender.sent
+    assert loaded.rtt == sender.rtt
+    assert loaded.send_errors == 3
+
+
+def test_receiver_roundtrip(tmp_path):
+    _, receiver = make_logs()
+    path = save_receiver_log(receiver, tmp_path / "recv.log")
+    loaded = load_receiver_log(path)
+    assert loaded.flow_id == 7
+    assert loaded.received == receiver.received
+    assert loaded.packets_received == receiver.packets_received
+
+
+def test_offline_decode_matches_online(tmp_path):
+    """The §3.1 workflow: save on both nodes, decode the files."""
+    sender, receiver = make_logs()
+    online = ItgDecoder(sender, receiver).summary()
+    save_sender_log(sender, tmp_path / "s.log")
+    save_receiver_log(receiver, tmp_path / "r.log")
+    offline = ItgDecoder(
+        load_sender_log(tmp_path / "s.log"),
+        load_receiver_log(tmp_path / "r.log"),
+    ).summary()
+    assert offline == online
+
+
+def test_wrong_file_kind_rejected(tmp_path):
+    sender, receiver = make_logs()
+    save_sender_log(sender, tmp_path / "s.log")
+    with pytest.raises(LogFormatError):
+        load_receiver_log(tmp_path / "s.log")
+    save_receiver_log(receiver, tmp_path / "r.log")
+    with pytest.raises(LogFormatError):
+        load_sender_log(tmp_path / "r.log")
+
+
+def test_garbage_rejected(tmp_path):
+    bad = tmp_path / "junk.log"
+    bad.write_text("hello world\n")
+    with pytest.raises(LogFormatError):
+        load_sender_log(bad)
+
+
+def test_bad_record_rejected(tmp_path):
+    bad = tmp_path / "bad.log"
+    bad.write_text("# itg-sender-log flow=1 name=x\nZ 1 2 3\n")
+    with pytest.raises(LogFormatError):
+        load_sender_log(bad)
+
+
+def test_empty_logs_roundtrip(tmp_path):
+    sender = SenderLog(1)
+    receiver = ReceiverLog(1)
+    s = load_sender_log(save_sender_log(sender, tmp_path / "s.log"))
+    r = load_receiver_log(save_receiver_log(receiver, tmp_path / "r.log"))
+    assert s.packets_sent == 0
+    assert r.packets_received == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=8, max_value=1472),
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=60,
+        unique_by=lambda t: t[0],
+    )
+)
+@settings(max_examples=40)
+def test_sender_roundtrip_property(tmp_path_factory, records):
+    tmp = tmp_path_factory.mktemp("logs")
+    sender = SenderLog(2, "prop")
+    for seq, size, t in records:
+        sender.sent.append(SentRecord(seq, size, t))
+    loaded = load_sender_log(save_sender_log(sender, tmp / "s.log"))
+    assert len(loaded.sent) == len(sender.sent)
+    for original, read in zip(sender.sent, loaded.sent):
+        assert read.seq == original.seq
+        assert read.size == original.size
+        assert read.sent_at == pytest.approx(original.sent_at, abs=1e-8)

@@ -1,0 +1,50 @@
+"""Unit tests for packet logs and probe payloads."""
+
+import pytest
+
+from repro.traffic.records import (
+    ProbePayload,
+    ReceiverLog,
+    RecvRecord,
+    SenderLog,
+    SentRecord,
+)
+
+
+def test_probe_payload_defaults():
+    probe = ProbePayload(1, 7)
+    assert probe.kind == "probe"
+    assert probe.meter == "owd"
+    assert "flow=1" in repr(probe) and "seq=7" in repr(probe)
+
+
+def test_recv_record_owd():
+    record = RecvRecord(0, 100, 1.0, 1.25)
+    assert record.owd == pytest.approx(0.25)
+
+
+def test_sender_log_totals():
+    log = SenderLog(1)
+    log.sent.append(SentRecord(0, 100, 0.0))
+    log.sent.append(SentRecord(1, 200, 0.1))
+    assert log.packets_sent == 2
+    assert log.bytes_sent == 300
+
+
+def test_receiver_log_dedup_and_totals():
+    log = ReceiverLog(1)
+    log.add(RecvRecord(0, 100, 0.0, 0.1))
+    log.add(RecvRecord(1, 100, 0.1, 0.2))
+    log.add(RecvRecord(0, 100, 0.0, 0.3))  # duplicate seq
+    assert log.packets_received == 2
+    assert log.bytes_received == 200
+    assert log.duplicates == 1
+    assert log.has_seq(0)
+    assert not log.has_seq(99)
+
+
+def test_fresh_logs_empty():
+    assert SenderLog(1).packets_sent == 0
+    assert SenderLog(1).bytes_sent == 0
+    assert ReceiverLog(1).packets_received == 0
+    assert ReceiverLog(1).bytes_received == 0

@@ -1,0 +1,139 @@
+"""Tests for D-ITG script mode (the ITGSend flag language)."""
+
+import pytest
+
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+from repro.sim.rng import (
+    ConstantVariate,
+    ExponentialVariate,
+    NormalVariate,
+    RandomStreams,
+    UniformVariate,
+)
+from repro.traffic.receiver import ItgReceiver
+from repro.traffic.script import (
+    ItgScriptRunner,
+    ScriptError,
+    parse_script,
+    parse_script_line,
+)
+
+
+def test_parse_papers_voip_line():
+    flow = parse_script_line("-a 138.96.250.100 -rp 8999 -C 100 -c 90 -t 120000 -m rttm")
+    assert flow.destination == "138.96.250.100"
+    assert flow.spec.dport == 8999
+    assert flow.spec.duration == 120.0
+    assert flow.spec.meter == "rtt"
+    assert isinstance(flow.spec.idt, ConstantVariate)
+    assert flow.spec.expected_packet_rate() == pytest.approx(100.0)
+    assert flow.spec.ps.mean() == 90
+
+
+def test_parse_exponential_and_uniform():
+    flow = parse_script_line("-a 10.0.0.2 -E 50 -u 64 512 -t 10000")
+    assert isinstance(flow.spec.idt, ExponentialVariate)
+    assert isinstance(flow.spec.ps, UniformVariate)
+    assert flow.spec.idt.mean() == pytest.approx(0.02)
+    assert flow.spec.meter == "owd"
+
+
+def test_parse_poisson_alias():
+    flow = parse_script_line("-a 10.0.0.2 -O 25")
+    assert isinstance(flow.spec.idt, ExponentialVariate)
+    assert flow.spec.expected_packet_rate() == pytest.approx(25.0)
+
+
+def test_parse_normal_ps_clamped():
+    flow = parse_script_line("-a 10.0.0.2 -C 10 -n 512 128")
+    assert isinstance(flow.spec.ps, NormalVariate)
+    assert flow.spec.ps.low == 8
+    assert flow.spec.ps.high == 1472
+
+
+def test_parse_start_delay():
+    flow = parse_script_line("-a 10.0.0.2 -C 10 -d 5000")
+    assert flow.start_delay == 5.0
+
+
+def test_defaults_match_ditg():
+    flow = parse_script_line("-a 10.0.0.2")
+    assert flow.spec.expected_packet_rate() == pytest.approx(1000.0)
+    assert flow.spec.ps.mean() == 512
+
+
+def test_blank_and_comment_lines_skipped():
+    flows = parse_script(
+        """
+        # the paper's VoIP flow
+        -a 10.0.0.2 -C 100 -c 90 -t 5000
+
+        -a 10.0.0.2 -rp 9001 -C 10 -c 100 -t 5000
+        """
+    )
+    assert len(flows) == 2
+
+
+def test_missing_destination_rejected():
+    with pytest.raises(ScriptError):
+        parse_script_line("-C 100 -c 90")
+
+
+def test_missing_operand_rejected():
+    with pytest.raises(ScriptError):
+        parse_script_line("-a 10.0.0.2 -u 64")
+
+
+def test_unknown_flag_rejected():
+    with pytest.raises(ScriptError):
+        parse_script_line("-a 10.0.0.2 -Z 5")
+
+
+def test_unknown_meter_rejected():
+    with pytest.raises(ScriptError):
+        parse_script_line("-a 10.0.0.2 -m telepathy")
+
+
+def test_empty_script_rejected():
+    sim = Simulator()
+    stack = IPStack(sim, "a")
+    with pytest.raises(ScriptError):
+        ItgScriptRunner(sim, stack.socket, RandomStreams(0), "# nothing\n")
+
+
+def test_runner_generates_multiple_flows():
+    sim = Simulator()
+    a = IPStack(sim, "a")
+    b = IPStack(sim, "b")
+    a_eth = a.add_interface(EthernetInterface("eth0"))
+    b_eth = b.add_interface(EthernetInterface("eth0"))
+    a.configure_interface(a_eth, "10.0.0.1", 24)
+    b.configure_interface(b_eth, "10.0.0.2", 24)
+    Link(sim, a_eth, b_eth)
+    recv_a = ItgReceiver(sim, b.socket(), port=8999)
+    recv_b = ItgReceiver(sim, b.socket(), port=9001)
+    runner = ItgScriptRunner(
+        sim,
+        a.socket,
+        RandomStreams(4),
+        """
+        -a 10.0.0.2 -rp 8999 -C 100 -c 90 -t 5000 -m rttm
+        -a 10.0.0.2 -rp 9001 -E 50 -u 64 512 -t 5000 -d 1000
+        """,
+    )
+    runner.start()
+    sim.run(until=30.0)
+    assert runner.finished
+    voip_sender, noise_sender = runner.senders
+    assert voip_sender.log.packets_sent == pytest.approx(500, abs=2)
+    assert len(voip_sender.log.rtt) == voip_sender.log.packets_sent
+    assert (
+        recv_a.log_for(voip_sender.flow_id).packets_received
+        == voip_sender.log.packets_sent
+    )
+    assert recv_b.log_for(noise_sender.flow_id).packets_received > 100
+    # The -d 1000 delay held the second flow back by a second.
+    assert noise_sender.log.sent[0].sent_at == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,72 @@
+"""Unit tests for the radio cell."""
+
+import pytest
+
+from repro.modem.device import RegistrationStatus
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.umts.operator import commercial_operator
+
+
+def make_cell(**kwargs):
+    sim = Simulator()
+    operator = commercial_operator(sim, RandomStreams(0))
+    return operator.new_cell(**kwargs)
+
+
+def test_registration_delay_within_bounds():
+    cell = make_cell(search_time_min=2.0, search_time_max=8.0)
+    rng = RandomStreams(1).stream("r")
+    for _ in range(50):
+        delay = cell.registration_delay(rng)
+        assert 2.0 <= delay <= 8.0
+
+
+def test_home_registration_default():
+    cell = make_cell()
+    assert cell.registration_result(None) == RegistrationStatus.REGISTERED_HOME
+    assert cell.attached_modems == 1
+
+
+def test_roaming_cell():
+    cell = make_cell(roaming=True)
+    assert cell.registration_result(None) == RegistrationStatus.REGISTERED_ROAMING
+
+
+def test_denying_cell():
+    cell = make_cell(deny_registration=True)
+    assert cell.registration_result(None) == RegistrationStatus.DENIED
+    assert cell.attached_modems == 0
+
+
+def test_signal_quality_clamped():
+    cell = make_cell(base_csq=30, csq_spread=10)
+    rng = RandomStreams(2).stream("s")
+    values = [cell.signal_quality(rng) for _ in range(200)]
+    assert all(0 <= v <= 31 for v in values)
+    assert max(values) == 31  # the clamp engaged at least once
+
+
+def test_signal_quality_low_end_clamp():
+    cell = make_cell(base_csq=1, csq_spread=5)
+    rng = RandomStreams(3).stream("s")
+    values = [cell.signal_quality(rng) for _ in range(200)]
+    assert all(0 <= v <= 31 for v in values)
+    assert min(values) == 0
+
+
+def test_operator_name_exposed():
+    cell = make_cell()
+    assert "commercial" in cell.operator_name
+
+
+def test_open_data_call_delegates_to_operator():
+    sim = Simulator()
+    operator = commercial_operator(sim, RandomStreams(0))
+    cell = operator.new_cell()
+
+    class FakeModem:
+        pass
+
+    call = cell.open_data_call(FakeModem(), apn=operator.apn)
+    assert call in operator.calls

@@ -1,0 +1,125 @@
+"""Unit tests for data-call lifecycle details and operator bookkeeping."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.umts.operator import UmtsError, commercial_operator
+
+
+class FakeModem:
+    """Minimal stand-in for a registered modem."""
+
+    def __init__(self):
+        self.frames = []
+        self.drops = []
+
+
+def make_operator(seed=0):
+    sim = Simulator()
+    return sim, commercial_operator(sim, RandomStreams(seed))
+
+
+def open_call(sim, operator):
+    modem = FakeModem()
+    call = operator.open_data_call(modem, apn=operator.apn)
+    call.set_downlink(modem.frames.append)
+    call.set_on_drop(modem.drops.append)
+    return modem, call
+
+
+def test_open_allocates_and_counts():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    assert operator.sessions_opened == 1
+    assert operator.ggsn.pool.in_use == 1
+    assert call.active
+    assert call.assigned_address in operator.ggsn.pool.prefix
+
+
+def test_close_releases_everything():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    operator.close_data_call(call, "test")
+    assert not call.active
+    assert operator.ggsn.pool.in_use == 0
+    assert operator.calls == []
+    assert operator.sessions_closed == 1
+
+
+def test_close_is_idempotent():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    operator.close_data_call(call)
+    operator.close_data_call(call)
+    assert operator.sessions_closed == 1
+
+
+def test_hangup_routes_through_operator():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    call.hangup("modem ATH")
+    assert not call.active
+    assert operator.calls == []
+
+
+def test_drop_call_notifies_modem():
+    sim, operator = make_operator()
+    modem, call = open_call(sim, operator)
+    operator.drop_call(call, "admin")
+    assert modem.drops == ["admin"]
+    assert not call.active
+
+
+def test_frames_ignored_after_close():
+    sim, operator = make_operator()
+    modem, call = open_call(sim, operator)
+    operator.close_data_call(call)
+    from repro.ppp.frame import PPP_LCP, ControlPacket, PPPFrame
+
+    call.send_uplink(PPPFrame(PPP_LCP, ControlPacket(1, 1)))
+    call._downlink_deliver(PPPFrame(PPP_LCP, ControlPacket(2, 1)))
+    sim.run(until=5.0)
+    assert call.uplink_frames == 0
+    assert modem.frames == []
+
+
+def test_session_counter_names_interfaces_uniquely():
+    sim, operator = make_operator()
+    _, first = open_call(sim, operator)
+    _, second = open_call(sim, operator)
+    names = [c.server_pppd.ifname for c in (first, second)]
+    assert len(set(names)) == 2
+
+
+def test_advertised_rate_is_downlink():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    assert call.advertised_rate_bps == operator.downlink_rate_bps
+
+
+def test_session_ifaces_on_ggsn_stack():
+    sim, operator = make_operator()
+    _, call = open_call(sim, operator)
+    sim.run(until=60.0)  # let the server pppd retransmit and give up
+    # The session interface only appears once IPCP opens; with no
+    # client on the other end, negotiation fails and nothing leaks.
+    leftovers = [n for n in operator.ggsn.stack.interfaces if n.startswith("ppp-s")]
+    assert leftovers == []
+
+
+def test_wrong_apn_and_capacity():
+    sim, operator = make_operator()
+    with pytest.raises(UmtsError):
+        operator.open_data_call(FakeModem(), apn="nope")
+    operator.max_sessions = 0
+    with pytest.raises(UmtsError):
+        operator.open_data_call(FakeModem(), apn=operator.apn)
+
+
+def test_cell_naming_sequence():
+    sim, operator = make_operator()
+    a = operator.new_cell()
+    b = operator.new_cell()
+    assert a.name == "cell-0"
+    assert b.name == "cell-1"

@@ -1,0 +1,251 @@
+"""End-to-end UMTS integration: register, dial, PPP up, traffic flows.
+
+Builds the full chain the paper's node uses — modem → cell → operator
+core → Internet → remote host — without the PlanetLab management layer
+(that lives in repro.testbed) and drives a complete dial-up.
+"""
+
+import pytest
+
+from repro.modem.cards import GlobetrotterGT3G
+from repro.modem.comgt import Comgt
+from repro.modem.wvdial import SerialPppTransport, Wvdial
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.ppp.daemon import Pppd
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+from repro.sim.rng import RandomStreams
+from repro.umts.operator import UmtsError, commercial_operator, private_microcell
+
+
+class UmtsWorld:
+    """Mobile + operator + internet router + remote host."""
+
+    def __init__(self, seed=0, operator_factory=commercial_operator):
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.operator = operator_factory(self.sim, self.streams)
+        self.cell = self.operator.new_cell()
+        # Internet core.
+        self.router = IPStack(self.sim, "internet")
+        self.router.forwarding = True
+        self.operator.connect_to_internet(self.router, "85.37.17.2", "85.37.17.1")
+        # Remote host on its own LAN.
+        self.remote = IPStack(self.sim, "inria")
+        r_eth = self.remote.add_interface(EthernetInterface("eth0"))
+        self.remote.configure_interface(r_eth, "138.96.250.100", 24)
+        router_iface = self.router.add_interface(EthernetInterface("to-inria"))
+        self.router.configure_interface(router_iface, "138.96.250.1", 24)
+        Link(self.sim, r_eth, router_iface, rate_bps=100e6, delay=0.004)
+        self.remote.ip.route_add("default", "eth0", via="138.96.250.1")
+        # The mobile node.
+        self.mobile = IPStack(self.sim, "napoli")
+        self.modem = GlobetrotterGT3G(
+            self.sim, rng=self.streams.stream("modem")
+        )
+        self.modem.plug_into(self.cell)
+        self.pppd = None
+
+    def dial(self):
+        """comgt + wvdial + pppd as one process; returns the process."""
+
+        def sequence():
+            code, lines = yield from Comgt(self.modem.port).run()
+            if code != 0:
+                return ("comgt-failed", lines)
+            code, lines = yield from Wvdial(
+                self.modem.port, apn=self.operator.apn
+            ).run()
+            if code != 0:
+                return ("wvdial-failed", lines)
+            transport = SerialPppTransport(self.sim, self.modem.port)
+            self.pppd = Pppd(
+                self.sim,
+                self.mobile,
+                transport,
+                role="client",
+                ifname="ppp0",
+                rng=self.streams.stream("magic"),
+            )
+            self.pppd.start()
+            result = yield self.pppd.up
+            return ("up", result)
+
+        return spawn(self.sim, sequence(), name="dial")
+
+
+@pytest.fixture()
+def world():
+    return UmtsWorld()
+
+
+def test_full_dialup_brings_ppp0_up(world):
+    process = world.dial()
+    world.sim.run(until=60.0)
+    assert not process.alive
+    status, iface = process.value
+    assert status == "up"
+    assert iface.name == "ppp0"
+    assert world.pppd.is_up
+    assert iface.address in world.operator.ggsn.pool.prefix
+    assert str(iface.peer_address) == str(world.operator.ggsn.internal_address)
+
+
+def test_dialup_takes_realistic_time(world):
+    process = world.dial()
+    world.sim.run(until=60.0)
+    # Registration search (2-8 s) + PDP activation (~2 s) + PPP RTTs.
+    assert 4.0 < world.sim.now or not process.alive
+    assert not process.alive
+
+
+def test_traffic_mobile_to_remote(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    world.mobile.ip.route_add("default", "ppp0", metric=10)
+    got = []
+    server = world.remote.socket()
+    server.bind(port=8999)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(
+        (payload, str(src))
+    )
+    world.mobile.socket().sendto("from-the-field", 100, "138.96.250.100", 8999)
+    world.sim.run(until=70.0)
+    assert len(got) == 1
+    payload, src = got[0]
+    assert payload == "from-the-field"
+    assert src == str(world.pppd.iface.address)
+
+
+def test_remote_can_reply_to_mobile(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    world.mobile.ip.route_add("default", "ppp0", metric=10)
+    replies = []
+
+    server = world.remote.socket()
+    server.bind(port=8999)
+
+    def echo(payload, src, sport, pkt):
+        # answer back to the mobile's source address/port
+        server.sendto(f"echo:{payload}", 50, src, sport)
+
+    server.on_receive = echo
+    client = world.mobile.socket()
+    client.bind(port=17000)
+    client.on_receive = lambda payload, src, sport, pkt: replies.append(payload)
+    client.sendto("ping", 50, "138.96.250.100", 8999)
+    world.sim.run(until=80.0)
+    assert replies == ["echo:ping"]
+
+
+def test_unsolicited_inbound_blocked_by_operator_firewall(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    mobile_addr = str(world.pppd.iface.address)
+    listener = world.mobile.socket()
+    listener.bind(port=22)
+    got = []
+    listener.on_receive = lambda payload, *a: got.append(payload)
+    intruder = world.remote.socket()
+    intruder.sendto("ssh-probe", 60, mobile_addr, 22)
+    world.sim.run(until=90.0)
+    assert got == []
+    assert world.operator.ggsn.inbound_blocked >= 1
+
+
+def test_private_microcell_allows_inbound():
+    world = UmtsWorld(operator_factory=private_microcell)
+    world.dial()
+    world.sim.run(until=60.0)
+    mobile_addr = str(world.pppd.iface.address)
+    listener = world.mobile.socket()
+    listener.bind(port=22)
+    got = []
+    listener.on_receive = lambda payload, *a: got.append(payload)
+    world.remote.socket().sendto("ssh-ok", 60, mobile_addr, 22)
+    world.sim.run(until=90.0)
+    assert got == ["ssh-ok"]
+
+
+def test_established_flow_opens_return_path(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    world.mobile.ip.route_add("default", "ppp0", metric=10)
+    mobile_addr = str(world.pppd.iface.address)
+    # Mobile initiates towards the remote: the flow becomes established.
+    client = world.mobile.socket()
+    client.bind(port=5060)
+    got = []
+    client.on_receive = lambda payload, *a: got.append(payload)
+    client.sendto("register", 50, "138.96.250.100", 8999)
+    world.sim.run(until=70.0)
+    # Now the remote can push data back in.
+    world.remote.socket().sendto("push", 50, mobile_addr, 5060)
+    world.sim.run(until=90.0)
+    assert got == ["push"]
+
+
+def test_hangup_releases_address_and_session(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    assert world.operator.ggsn.pool.in_use == 1
+    assert len(world.operator.calls) == 1
+    world.pppd.disconnect("umts stop")
+    call = None  # modem still holds the call; hang up via modem
+    world.modem._hangup("stop")
+    world.sim.run(until=90.0)
+    assert world.operator.ggsn.pool.in_use == 0
+    assert world.operator.calls == []
+    assert world.operator.sessions_closed == 1
+
+
+def test_wrong_apn_rejected(world):
+    world.sim.run(until=20.0)  # let registration finish
+
+    class Holder:
+        pass
+
+    with pytest.raises(UmtsError):
+        world.operator.open_data_call(world.modem, apn="wrong.apn")
+
+
+def test_session_capacity_enforced():
+    world = UmtsWorld()
+    world.operator.max_sessions = 1
+    world.sim.run(until=20.0)
+    world.operator.open_data_call(world.modem, apn=world.operator.apn)
+    with pytest.raises(UmtsError):
+        world.operator.open_data_call(world.modem, apn=world.operator.apn)
+
+
+def test_network_drop_notifies_modem(world):
+    world.dial()
+    world.sim.run(until=60.0)
+    call = world.operator.calls[0]
+    world.operator.drop_call(call, "admin drop")
+    world.sim.run(until=70.0)
+    assert not world.modem.data_mode
+    assert world.operator.calls == []
+
+
+def test_two_seeds_give_different_but_valid_runs():
+    w1 = UmtsWorld(seed=1)
+    w2 = UmtsWorld(seed=2)
+    p1 = w1.dial()
+    p2 = w2.dial()
+    w1.sim.run(until=60.0)
+    w2.sim.run(until=60.0)
+    assert p1.value[0] == "up" and p2.value[0] == "up"
+
+
+def test_same_seed_is_deterministic():
+    w1 = UmtsWorld(seed=5)
+    w2 = UmtsWorld(seed=5)
+    w1.dial()
+    w2.dial()
+    w1.sim.run(until=60.0)
+    w2.sim.run(until=60.0)
+    assert str(w1.pppd.iface.address) == str(w2.pppd.iface.address)

@@ -1,0 +1,109 @@
+"""Unit tests for the GGSN: flow table, ingress filter, pool wiring."""
+
+import pytest
+
+from repro.net.addressing import ip
+from repro.net.packet import Packet
+from repro.netfilter.chains import HOOK_FORWARD, PacketContext
+from repro.sim.engine import Simulator
+from repro.umts.ggsn import EstablishedFlowMatch, Ggsn
+
+
+@pytest.fixture()
+def ggsn():
+    return Ggsn(
+        Simulator(),
+        "ggsn",
+        "10.199.0.0/16",
+        "10.199.0.1",
+        block_inbound=True,
+        conntrack_ttl=300.0,
+    )
+
+
+def test_pool_reserves_internal_address(ggsn):
+    for _ in range(20):
+        assert ggsn.pool.allocate() != ip("10.199.0.1")
+
+
+def test_flow_recording_and_lookup(ggsn):
+    mobile, remote = ip("10.199.3.7"), ip("138.96.250.100")
+    assert not ggsn.is_established(remote, mobile, now=10.0)
+    ggsn.record_flow(mobile, remote, now=5.0)
+    assert ggsn.is_established(remote, mobile, now=10.0)
+    # Direction matters: the mobile initiated toward the remote.
+    assert not ggsn.is_established(mobile, remote, now=10.0)
+
+
+def test_flow_expiry(ggsn):
+    mobile, remote = ip("10.199.3.7"), ip("138.96.250.100")
+    ggsn.record_flow(mobile, remote, now=0.0)
+    assert ggsn.is_established(remote, mobile, now=299.0)
+    assert not ggsn.is_established(remote, mobile, now=301.0)
+    # The expired entry was dropped on lookup.
+    assert ggsn.active_flows == 0
+
+
+def test_flow_refresh_extends_lifetime(ggsn):
+    mobile, remote = ip("10.199.3.7"), ip("138.96.250.100")
+    ggsn.record_flow(mobile, remote, now=0.0)
+    ggsn.record_flow(mobile, remote, now=250.0)
+    assert ggsn.is_established(remote, mobile, now=500.0)
+
+
+def test_expire_flows_sweep(ggsn):
+    ggsn.record_flow(ip("10.199.3.7"), ip("1.1.1.1"), now=0.0)
+    ggsn.record_flow(ip("10.199.3.8"), ip("2.2.2.2"), now=400.0)
+    removed = ggsn.expire_flows(now=500.0)
+    assert removed == 1
+    assert ggsn.active_flows == 1
+
+
+def test_forward_chain_has_ingress_rule(ggsn):
+    rules = ggsn.stack.netfilter.table("filter").chain(HOOK_FORWARD).rules
+    assert len(rules) == 1
+    assert "conntrack" in repr(rules[0])
+
+
+def test_inbound_to_pool_dropped_without_flow(ggsn):
+    packet = Packet("10.199.3.7", src="138.96.250.100", size=10)
+    ok = ggsn.stack.netfilter.run_hook(
+        HOOK_FORWARD, packet, in_iface="gi", out_iface="ppp-s0", now=0.0
+    )
+    assert ok is False
+    assert ggsn.inbound_blocked == 1
+
+
+def test_inbound_allowed_with_established_flow(ggsn):
+    ggsn.record_flow(ip("10.199.3.7"), ip("138.96.250.100"), now=0.0)
+    packet = Packet("10.199.3.7", src="138.96.250.100", size=10)
+    ok = ggsn.stack.netfilter.run_hook(
+        HOOK_FORWARD, packet, in_iface="gi", out_iface="ppp-s0", now=1.0
+    )
+    assert ok is True
+
+
+def test_transit_traffic_not_affected(ggsn):
+    # Traffic not destined to the pool passes the ingress rule.
+    packet = Packet("8.8.8.8", src="10.199.3.7", size=10)
+    ok = ggsn.stack.netfilter.run_hook(
+        HOOK_FORWARD, packet, in_iface="ppp-s0", out_iface="gi", now=0.0
+    )
+    assert ok is True
+
+
+def test_open_ggsn_has_no_rule():
+    open_ggsn = Ggsn(
+        Simulator(), "g", "10.201.0.0/16", "10.201.0.1", block_inbound=False
+    )
+    assert open_ggsn.stack.netfilter.table("filter").chain(HOOK_FORWARD).rules == []
+    assert open_ggsn.inbound_blocked == 0
+
+
+def test_established_match_inversion(ggsn):
+    match = EstablishedFlowMatch(ggsn, invert=False)
+    packet = Packet("10.199.3.7", src="138.96.250.100")
+    ctx = PacketContext(packet, HOOK_FORWARD, now=0.0)
+    assert not match.matches(ctx)
+    ggsn.record_flow(ip("10.199.3.7"), ip("138.96.250.100"), now=0.0)
+    assert match.matches(ctx)

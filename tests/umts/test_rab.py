@@ -1,0 +1,134 @@
+"""Unit tests for RAB grades and adaptation."""
+
+import pytest
+
+from repro.net.link import Channel
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.umts.rab import DEFAULT_UPLINK_GRADES, RabConfig, RabController
+
+
+def make_channel(sim, rate=144000.0, queue_bytes=50000):
+    return Channel(sim, lambda p: None, rate_bps=rate, delay=0.05, queue_bytes=queue_bytes)
+
+
+def saturate(sim, channel, pps=122, size=1024, duration=120.0):
+    """Offer a constant overload to the channel."""
+
+    def tick(t=[0.0]):
+        channel.send(Packet("10.0.0.1", size=size))
+        t[0] += 1.0 / pps
+        if t[0] < duration:
+            sim.schedule(1.0 / pps, tick)
+
+    sim.schedule(0.0, tick)
+
+
+def test_config_defaults_valid():
+    config = RabConfig()
+    assert config.grades == DEFAULT_UPLINK_GRADES
+    assert config.grades[config.initial_grade_index] == 144000.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RabConfig(grades=[])
+    with pytest.raises(ValueError):
+        RabConfig(grades=[384000.0, 64000.0])
+    with pytest.raises(ValueError):
+        RabConfig(initial_grade_index=7)
+    with pytest.raises(ValueError):
+        RabConfig(eval_period=0)
+
+
+def test_config_copy_overrides():
+    config = RabConfig()
+    quick = config.copy(sustain_time=5.0)
+    assert quick.sustain_time == 5.0
+    assert quick.grades == config.grades
+    assert config.sustain_time != 5.0
+
+
+def test_initial_grade_applied_to_channel():
+    sim = Simulator()
+    channel = make_channel(sim, rate=999.0)
+    RabController(sim, channel, RabConfig())
+    assert channel.rate_bps == 144000.0
+
+
+def test_upgrade_after_sustained_demand():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(sim, channel, RabConfig())
+    saturate(sim, channel)
+    sim.run(until=120.0)
+    assert controller.upgrades == 1
+    assert controller.current_rate == 384000.0
+    # The upgrade lands around t = sustain + grant ≈ 48 s.
+    upgrade_time = controller.grade_history.times[1]
+    assert 40.0 <= upgrade_time <= 60.0
+
+
+def test_no_upgrade_when_disabled():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(
+        sim, channel, RabConfig(adaptation_enabled=False)
+    )
+    saturate(sim, channel)
+    sim.run(until=120.0)
+    assert controller.upgrades == 0
+    assert controller.current_rate == 144000.0
+
+
+def test_light_load_never_upgrades():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(sim, channel, RabConfig())
+    saturate(sim, channel, pps=10, size=100)  # ~8 kbit/s
+    sim.run(until=120.0)
+    assert controller.upgrades == 0
+
+
+def test_downgrade_after_idle():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(sim, channel, RabConfig())
+    saturate(sim, channel, duration=60.0)
+    sim.run(until=200.0)
+    assert controller.upgrades == 1
+    assert controller.downgrades == 1
+    assert controller.current_rate == 144000.0
+
+
+def test_stop_halts_evaluation():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(sim, channel, RabConfig())
+    saturate(sim, channel)
+    sim.run(until=10.0)
+    controller.stop()
+    sim.run(until=120.0)
+    assert controller.upgrades == 0
+    assert controller.current_rate == 144000.0
+
+
+def test_grade_history_records_changes():
+    sim = Simulator()
+    channel = make_channel(sim)
+    controller = RabController(sim, channel, RabConfig())
+    saturate(sim, channel)
+    sim.run(until=120.0)
+    assert controller.grade_history.values[0] == 144000.0
+    assert controller.grade_history.values[-1] == 384000.0
+
+
+def test_upgrade_stops_at_top_grade():
+    sim = Simulator()
+    channel = make_channel(sim)
+    config = RabConfig(sustain_time=4.0, grant_delay=1.0)
+    controller = RabController(sim, channel, config)
+    saturate(sim, channel, duration=300.0)
+    sim.run(until=300.0)
+    assert controller.current_rate == 384000.0
+    assert controller.upgrades == 1  # 144k -> 384k, nothing above

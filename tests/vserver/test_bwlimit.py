@@ -1,0 +1,207 @@
+"""Tests for PlanetLab-style per-slice bandwidth limiting."""
+
+import pytest
+
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+from repro.vserver.bwlimit import TokenBucket
+
+
+def make_pair(sim):
+    a = IPStack(sim, "node")
+    b = IPStack(sim, "peer")
+    a_eth = a.add_interface(EthernetInterface("eth0"))
+    b_eth = b.add_interface(EthernetInterface("eth0"))
+    a.configure_interface(a_eth, "10.0.0.1", 24)
+    b.configure_interface(b_eth, "10.0.0.2", 24)
+    Link(sim, a_eth, b_eth, rate_bps=1e9, delay=0.0001)
+    return a, b
+
+
+def blast(sim, stack, xid, port, packets=200, size=1000, interval=0.001):
+    sock = stack.socket(xid=xid)
+
+    def tick(remaining=[packets]):
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        try:
+            sock.sendto("x", size, "10.0.0.2", port)
+        except Exception:
+            pass
+        sim.schedule(interval, tick)
+
+    sim.schedule(0.0, tick)
+    return sock
+
+
+def count_received(stack, port):
+    got = []
+    server = stack.socket()
+    server.bind(port=port)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(sim_now(pkt))
+    return got
+
+
+def sim_now(pkt):
+    return pkt.sent_at
+
+
+# -- token bucket unit tests -------------------------------------------------
+
+
+def test_bucket_starts_full():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_bps=8000.0, burst_bytes=1000)
+    assert bucket.try_consume(1000)
+    assert not bucket.try_consume(1)
+
+
+def test_bucket_refills_at_rate():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_bps=8000.0, burst_bytes=1000)
+    bucket.try_consume(1000)
+    sim.run(until=0.5)  # 0.5 s * 1000 B/s = 500 B of tokens
+    assert bucket.try_consume(500)
+    assert not bucket.try_consume(1)
+
+
+def test_bucket_caps_at_burst():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_bps=8_000_000.0, burst_bytes=1000)
+    sim.run(until=10.0)
+    assert bucket.try_consume(1000)
+    assert not bucket.try_consume(500)
+
+
+def test_time_until():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_bps=8000.0, burst_bytes=1000)
+    bucket.try_consume(1000)
+    assert bucket.time_until(1000) == pytest.approx(1.0)
+    assert bucket.time_until(0) == 0.0
+
+
+def test_bucket_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenBucket(sim, 0, 100)
+    with pytest.raises(ValueError):
+        TokenBucket(sim, 100, 0)
+
+
+# -- limiter integration -----------------------------------------------------
+
+
+def test_slice_rate_capped():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0", queue_bytes=10**6)
+    limiter.set_limit(510, rate_bps=80_000.0, burst_bytes=2000)  # 10 kB/s
+    got = []
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(sim.now)
+    # Offer ~1 MB/s for one second from xid 510.
+    blast(sim, a, 510, 9, packets=1000, size=1000, interval=0.001)
+    sim.run(until=1.0)
+    # 10 kB/s + 2 kB burst => at most ~13 packets of 1028 B in 1 s.
+    assert len(got) <= 14
+    assert len(got) >= 8
+
+
+def test_root_traffic_bypasses_limiter():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0")
+    limiter.set_limit(0, rate_bps=1.0)  # would be absurd if applied
+    got = []
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(1)
+    blast(sim, a, 0, 9, packets=100, size=1000, interval=0.001)
+    sim.run(until=1.0)
+    assert len(got) == 100
+
+
+def test_slices_do_not_share_buckets():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0", queue_bytes=10**6)
+    limiter.set_limit(510, rate_bps=80_000.0, burst_bytes=2000)
+    limiter.set_limit(600, rate_bps=800_000.0, burst_bytes=20000)
+    counts = {510: 0, 600: 0}
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: counts.__setitem__(
+        pkt.xid, counts[pkt.xid] + 1
+    )
+    blast(sim, a, 510, 9, packets=500, size=1000, interval=0.002)
+    blast(sim, a, 600, 9, packets=500, size=1000, interval=0.002)
+    sim.run(until=1.0)
+    assert counts[600] > 5 * counts[510]
+
+
+def test_overflow_drops_counted():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0", queue_bytes=5000)
+    limiter.set_limit(510, rate_bps=8_000.0, burst_bytes=1000)
+    server = b.socket()
+    server.bind(port=9)
+    blast(sim, a, 510, 9, packets=300, size=1000, interval=0.001)
+    sim.run(until=2.0)
+    assert limiter.dropped_packets > 200
+    assert limiter.shaped_packets > 0
+
+
+def test_shaped_packets_eventually_released():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0", queue_bytes=10**6)
+    limiter.set_limit(510, rate_bps=80_000.0, burst_bytes=1100)
+    got = []
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(sim.now)
+    sock = a.socket(xid=510)
+    for _ in range(5):
+        sock.sendto("x", 1000, "10.0.0.2", 9)
+    sim.run(until=10.0)
+    assert len(got) == 5
+    assert limiter.backlog_bytes(510) == 0
+    # Releases paced at ~10 kB/s after the 1.1 kB burst.
+    assert got[-1] - got[0] > 0.3
+
+
+def test_default_limit_applies_to_unknown_slice():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter(
+        "eth0", default_rate_bps=80_000.0, default_burst_bytes=2000
+    )
+    assert limiter.limit_of(999) == (80_000.0, 2000)
+    got = []
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(1)
+    blast(sim, a, 999, 9, packets=1000, size=1000, interval=0.0005)
+    sim.run(until=1.0)
+    assert len(got) <= 14
+
+
+def test_remove_bwlimiter_restores_line_rate():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    limiter = a.install_bwlimiter("eth0")
+    limiter.set_limit(510, rate_bps=8_000.0)
+    a.remove_bwlimiter("eth0")
+    got = []
+    server = b.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: got.append(1)
+    blast(sim, a, 510, 9, packets=100, size=1000, interval=0.001)
+    sim.run(until=1.0)
+    assert len(got) == 100

@@ -1,0 +1,100 @@
+"""Unit tests for security contexts, slices, slivers and VNET+."""
+
+import pytest
+
+from repro.net.errors import PermissionDeniedError
+from repro.net.interface import EthernetInterface
+from repro.net.link import Link
+from repro.net.stack import IPStack
+from repro.sim.engine import Simulator
+from repro.vserver.context import ROOT_CONTEXT, SecurityContext
+from repro.vserver.slice import Slice, Sliver
+from repro.vserver.vnet import VnetPlus
+from repro.vsys.daemon import VsysDaemon
+
+
+def test_root_context_is_root():
+    assert ROOT_CONTEXT.is_root
+    assert ROOT_CONTEXT.xid == 0
+    ROOT_CONTEXT.require_root("anything")  # no raise
+
+
+def test_slice_context_not_root():
+    ctx = SecurityContext(510, "unina_umts")
+    assert not ctx.is_root
+    with pytest.raises(PermissionDeniedError):
+        ctx.require_root("iptables")
+
+
+def test_negative_xid_rejected():
+    with pytest.raises(ValueError):
+        SecurityContext(-1)
+
+
+def test_slice_requires_positive_xid():
+    with pytest.raises(ValueError):
+        Slice("bad", 0)
+
+
+def test_slice_holds_slivers():
+    sim = Simulator()
+    stack = IPStack(sim, "node")
+    vsys = VsysDaemon(sim, "node")
+    sl = Slice("unina_umts", 510)
+    sliver = Sliver(sl, "node", stack, vsys)
+    assert sl.sliver_on("node") is sliver
+    assert sliver.xid == 510
+    assert sliver.name == "unina_umts"
+
+
+def test_sliver_sockets_are_tagged():
+    sim = Simulator()
+    stack = IPStack(sim, "node")
+    vsys = VsysDaemon(sim, "node")
+    sliver = Sliver(Slice("unina_umts", 510), "node", stack, vsys)
+    sock = sliver.socket()
+    assert sock.xid == 510
+
+
+def test_sliver_privileged_calls_raise():
+    sim = Simulator()
+    stack = IPStack(sim, "node")
+    sliver = Sliver(Slice("s", 5), "node", stack, VsysDaemon(sim))
+    with pytest.raises(PermissionDeniedError):
+        sliver.iptables("-A", "OUTPUT")
+    with pytest.raises(PermissionDeniedError):
+        sliver.ip_route("add")
+    with pytest.raises(PermissionDeniedError):
+        sliver.pppd()
+
+
+def test_sliver_packets_carry_xid_on_the_wire():
+    sim = Simulator()
+    node = IPStack(sim, "node")
+    peer = IPStack(sim, "peer")
+    n_eth = node.add_interface(EthernetInterface("eth0"))
+    p_eth = peer.add_interface(EthernetInterface("eth0"))
+    node.configure_interface(n_eth, "10.0.0.1", 24)
+    peer.configure_interface(p_eth, "10.0.0.2", 24)
+    Link(sim, n_eth, p_eth)
+    sliver = Sliver(Slice("unina_umts", 510), "node", node, VsysDaemon(sim))
+    seen = []
+    server = peer.socket()
+    server.bind(port=9)
+    server.on_receive = lambda payload, src, sport, pkt: seen.append(pkt.xid)
+    sliver.socket().sendto("x", 1, "10.0.0.2", 9)
+    sim.run()
+    assert seen == [510]
+
+
+def test_vnetplus_factory_tags_and_finds():
+    sim = Simulator()
+    stack = IPStack(sim, "node")
+    vnet = VnetPlus(stack)
+    ctx = SecurityContext(7, "a")
+    sock = vnet.socket(ctx)
+    sock.bind(port=1234)
+    assert sock.xid == 7
+    assert vnet.sockets_of(7) == [sock]
+    assert vnet.sockets_of(8) == []
+    assert vnet.sockets_created == 1

@@ -1,9 +1,12 @@
 """Command-line front door: ``python -m repro <command>``.
 
-Three commands, mirroring the paper's narrative:
+Four commands, mirroring the paper's narrative:
 
 - ``demo`` — bring the UMTS connection up on the simulated PlanetLab
   node, show the ``umts`` command output, send one packet each way;
+- ``trace`` — the same walk-through under the observability layer:
+  structured spans for every dial-up phase and vsys command, the
+  metrics registry, and (on failure) the flight-recorder dump;
 - ``voip`` — the Figures 1-3 experiment (72 kbit/s VoIP-like flow),
   printed as a summary table for both paths;
 - ``saturation`` — the Figures 4-7 experiment (1 Mbit/s flow) with the
@@ -24,6 +27,7 @@ from repro import (
     voip_g711,
 )
 from repro.analysis.compare import compare_paths, report_lines
+from repro.obs import Observability, format_event
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -41,6 +45,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print("umts stopped; demo complete "
           f"({scenario.sim.now:.1f} simulated seconds)")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    scenario = OneLabScenario(seed=args.seed)
+    obs = Observability(scenario.sim)
+    obs.bind_node(scenario.napoli)
+    events = obs.record_events()
+    jsonl = obs.export_jsonl(args.jsonl) if args.jsonl else None
+    if args.fail:
+        # Make the cell refuse the PDP context: registration succeeds,
+        # but ATD*99# answers NO CARRIER — the forced dial-up failure
+        # that triggers the flight recorder.
+        def _refuse_data_call(modem, apn=None):
+            raise RuntimeError("no radio bearer available (--fail)")
+
+        scenario.napoli.modem.network.open_data_call = _refuse_data_call
+    umts = scenario.umts_command()
+    result = umts.start_blocking()
+    if result.ok:
+        umts.add_destination_blocking(scenario.inria_addr)
+        umts.status_blocking()
+        umts.stop_blocking()
+    print(f"trace: {len(events.events)} events, "
+          f"{scenario.sim.now:.1f} simulated seconds")
+    for event in events.events:
+        print(format_event(event))
+    print()
+    print("metrics:")
+    for line in obs.metrics.summary_lines():
+        print("  " + line)
+    if obs.flight.dumps:
+        print()
+        for line in obs.flight.dump_lines():
+            print(line)
+    if jsonl is not None:
+        jsonl.close()
+        print(f"\ntrace exported to {args.jsonl} ({jsonl.written} events)")
+    return 0 if result.ok else 1
 
 
 def _run_both(spec_factory, seed: int):
@@ -89,6 +131,17 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=3, help="experiment seed")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="umts start/status/stop walk-through")
+    trace_parser = sub.add_parser(
+        "trace", help="the demo scenario under the observability layer"
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None, help="export the trace as JSON lines to this path"
+    )
+    trace_parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="force a dial-up failure to demonstrate the flight recorder",
+    )
     for name, help_text in (
         ("voip", "the VoIP characterization (Figures 1-3)"),
         ("saturation", "the 1 Mbit/s saturation experiment (Figures 4-7)"),
@@ -96,7 +149,12 @@ def main(argv=None) -> int:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--duration", type=float, default=120.0)
     args = parser.parse_args(argv)
-    handlers = {"demo": _cmd_demo, "voip": _cmd_voip, "saturation": _cmd_saturation}
+    handlers = {
+        "demo": _cmd_demo,
+        "trace": _cmd_trace,
+        "voip": _cmd_voip,
+        "saturation": _cmd_saturation,
+    }
     return handlers[args.command](args)
 
 

@@ -19,7 +19,7 @@ pipes, never touching the privileged objects directly.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.connection import UmtsConnectionManager
 from repro.core.errors import UmtsCommandError
@@ -42,7 +42,7 @@ class UmtsBackend:
         connection: UmtsConnectionManager,
         isolation: IsolationManager,
         resolve_xid: Callable[[str], int],
-        lock: InterfaceLock = None,
+        lock: Optional[InterfaceLock] = None,
     ):
         self.sim = sim
         self.connection = connection
@@ -55,27 +55,62 @@ class UmtsBackend:
     # -- vsys entry point ------------------------------------------------
 
     def handler(self, slice_name: str, argv: List[str]):
-        """The vsys handler: dispatches one front-end request."""
+        """The vsys handler: dispatches one front-end request.
+
+        Every request runs under an ``umts.cmd`` span; command errors
+        emit an error-kind event (the flight-recorder trigger) before
+        being rendered as exit-1 output, like the real script.
+        """
         if not argv:
             return 1, [USAGE]
         command, args = argv[0], argv[1:]
+        trace = self.sim.trace
+        span = (
+            trace.span("umts.cmd", command=command, slice=slice_name)
+            if trace is not None
+            else None
+        )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"umts.cmd.{command}").inc()
         try:
-            if command == "start" and not args:
-                result = yield from self._start(slice_name)
-                return result
-            if command == "stop" and not args:
-                result = yield from self._stop(slice_name)
-                return result
-            if command == "status" and not args:
-                return self._status(slice_name)
-            if command == "add" and len(args) == 1:
-                return self._add(slice_name, args[0])
-            if command == "del" and len(args) == 1:
-                return self._del(slice_name, args[0])
+            code, lines = yield from self._dispatch(slice_name, command, args)
         except UmtsCommandError as exc:
+            if trace is not None:
+                trace.error(
+                    "umts.command_error",
+                    command=command,
+                    slice=slice_name,
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
+            if metrics is not None:
+                metrics.counter("umts.cmd.errors").inc()
+            if span is not None:
+                span.fail(str(exc))
             return 1, [f"umts: {exc}"]
         except ValueError as exc:
+            if span is not None:
+                span.fail(str(exc))
             return 1, [f"umts: {exc}"]
+        if span is not None:
+            span.end(status="ok" if code == 0 else "error", code=code)
+        return code, lines
+
+    def _dispatch(self, slice_name: str, command: str, args: List[str]):
+        """Route one parsed request to its operation."""
+        if command == "start" and not args:
+            result = yield from self._start(slice_name)
+            return result
+        if command == "stop" and not args:
+            result = yield from self._stop(slice_name)
+            return result
+        if command == "status" and not args:
+            return self._status(slice_name)
+        if command == "add" and len(args) == 1:
+            return self._add(slice_name, args[0])
+        if command == "del" and len(args) == 1:
+            return self._del(slice_name, args[0])
         return 1, [USAGE]
 
     # -- operations ----------------------------------------------------------
@@ -147,3 +182,6 @@ class UmtsBackend:
 
     def _log(self, message: str) -> None:
         self.events.append((self.sim.now, message))
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit("umts.backend", message=message)

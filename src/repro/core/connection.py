@@ -63,6 +63,29 @@ class UmtsConnectionManager:
         #: fired with a reason when the connection drops for any cause.
         self.went_down = Signal(sim, "umts.down")
 
+    # -- observability ----------------------------------------------------
+
+    def _set_state(self, new_state: ConnectionState, reason: str = "") -> None:
+        """Move the lifecycle, emitting the transition on the trace bus."""
+        old_state = self.state
+        self.state = new_state
+        if old_state is new_state:
+            return
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                "umts.connection.state",
+                kind="transition",
+                old=old_state.value,
+                new=new_state.value,
+                reason=reason,
+            )
+
+    def _count(self, name: str) -> None:
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(name).inc()
+
     # -- state inspection -------------------------------------------------
 
     @property
@@ -103,18 +126,26 @@ class UmtsConnectionManager:
         """Generator: bring the connection up.  Returns (code, lines)."""
         if self.state != ConnectionState.DOWN:
             return 1, [f"umts: connection is {self.state.value}, expected down"]
-        self.state = ConnectionState.REGISTERING
+        trace = self.sim.trace
+        span = trace.span("umts.connect", apn=self.apn) if trace is not None else None
+        self._set_state(ConnectionState.REGISTERING, "umts start")
         code, lines = yield from Comgt(self.modem.port, pin=self.pin).run()
         if code != 0:
-            self.state = ConnectionState.DOWN
+            self._set_state(ConnectionState.DOWN, "registration failed")
+            if span is not None:
+                span.fail("registration failed")
+            self._count("umts.connect_failures")
             return 1, lines
-        self.state = ConnectionState.DIALING
+        self._set_state(ConnectionState.DIALING, "registered")
         dial_code, dial_lines = yield from Wvdial(self.modem.port, apn=self.apn).run()
         lines.extend(dial_lines)
         if dial_code != 0:
-            self.state = ConnectionState.DOWN
+            self._set_state(ConnectionState.DOWN, "dial failed")
+            if span is not None:
+                span.fail("dial failed")
+            self._count("umts.connect_failures")
             return 1, lines
-        self.state = ConnectionState.NEGOTIATING
+        self._set_state(ConnectionState.NEGOTIATING, "carrier acquired")
         self.transport = SerialPppTransport(
             self.sim, self.modem.port, on_carrier_lost=self._carrier_lost
         )
@@ -133,13 +164,25 @@ class UmtsConnectionManager:
         self.pppd.start()
         kind, value = yield outcome
         if kind == "failed":
-            self.state = ConnectionState.DOWN
+            self._set_state(ConnectionState.DOWN, f"ppp failed: {value}")
             self._drop_transport()
             lines.append(f"pppd: {value}")
+            if trace is not None:
+                trace.error("umts.ppp_failed", reason=str(value))
+            if span is not None:
+                span.fail(str(value))
+            self._count("umts.connect_failures")
             return 1, lines
-        self.state = ConnectionState.UP
+        self._set_state(ConnectionState.UP, "ipcp open")
         self.connected_at = self.sim.now
         self.connects += 1
+        self._count("umts.connects")
+        if trace is not None:
+            trace.emit(
+                "dial.addr_assigned", addr=str(value.address), ifname=self.ifname
+            )
+        if span is not None:
+            span.end(addr=str(value.address))
         lines.append(f"pppd: {self.ifname} up, local address {value.address}")
         return 0, lines
 
@@ -147,7 +190,9 @@ class UmtsConnectionManager:
         """Generator: tear the connection down.  Returns (code, lines)."""
         if self.state != ConnectionState.UP:
             return 1, [f"umts: connection is {self.state.value}, expected up"]
-        self.state = ConnectionState.STOPPING
+        trace = self.sim.trace
+        span = trace.span("umts.disconnect") if trace is not None else None
+        self._set_state(ConnectionState.STOPPING, "umts stop")
         self.pppd.disconnect("umts stop")
         self._drop_transport()
         dialer = Wvdial(self.modem.port, apn=self.apn)
@@ -157,9 +202,12 @@ class UmtsConnectionManager:
         # would otherwise leak into the next dial-up's serial stream.
         self.pppd.carrier_lost("modem hangup")
         self.pppd = None
-        self.state = ConnectionState.DOWN
+        self._set_state(ConnectionState.DOWN, "umts stop")
         self.connected_at = None
         self.disconnects += 1
+        self._count("umts.disconnects")
+        if span is not None:
+            span.end(code=code)
         self.went_down.fire("umts stop")
         return code, lines
 
@@ -167,10 +215,14 @@ class UmtsConnectionManager:
 
     def _carrier_lost(self) -> None:
         self.carrier_losses += 1
+        self._count("umts.carrier_losses")
+        trace = self.sim.trace
+        if trace is not None:
+            trace.error("umts.carrier_lost", state=self.state.value)
         if self.pppd is not None:
             self.pppd.carrier_lost("NO CARRIER")
         self._drop_transport()
-        self.state = ConnectionState.DOWN
+        self._set_state(ConnectionState.DOWN, "carrier lost")
         self.connected_at = None
         self.went_down.fire("carrier lost")
 

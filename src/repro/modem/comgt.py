@@ -38,7 +38,24 @@ class Comgt:
         self.max_attempts = max_attempts
 
     def run(self):
-        """The default comgt script.  Generator returning (code, lines)."""
+        """The default comgt script.  Generator returning (code, lines).
+
+        The whole registration is one ``dial.register`` span; a nonzero
+        exit also emits an error event (the flight-recorder trigger).
+        """
+        trace = self.port.sim.trace
+        span = trace.span("dial.register") if trace is not None else None
+        code, lines = yield from self._script(trace)
+        if span is not None:
+            if code == 0:
+                span.end(code=code)
+            else:
+                span.fail(lines[-1] if lines else "", code=code)
+        if code != 0 and trace is not None:
+            trace.error("dial.register.failed", detail=lines[-1] if lines else "")
+        return code, lines
+
+    def _script(self, trace):
         terminal, _ = yield from chat(self.port, "AT")
         if terminal != "OK":
             return 1, [f"comgt: modem not responding ({terminal})"]
@@ -54,6 +71,8 @@ class Comgt:
         for _attempt in range(self.max_attempts):
             terminal, info = yield from chat(self.port, "AT+CREG?")
             status = _parse_creg(info)
+            if trace is not None:
+                trace.emit("comgt.creg", attempt=_attempt, creg=status)
             if status in _REGISTERED:
                 lines = [f"comgt: registered on network (CREG {status})"]
                 terminal, info = yield from chat(self.port, "AT+CSQ")

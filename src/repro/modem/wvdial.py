@@ -38,8 +38,22 @@ class Wvdial:
         """The dial sequence.  Generator returning (code, lines).
 
         On success (exit 0) the serial port is in data mode and the
-        last output line is the CONNECT message.
+        last output line is the CONNECT message.  The whole sequence is
+        one ``dial.dial`` span; a failure also emits an error event.
         """
+        trace = self.port.sim.trace
+        span = trace.span("dial.dial", apn=self.apn) if trace is not None else None
+        code, lines = yield from self._script()
+        if span is not None:
+            if code == 0:
+                span.end(code=code)
+            else:
+                span.fail(lines[-1] if lines else "", code=code)
+        if code != 0 and trace is not None:
+            trace.error("dial.dial.failed", detail=lines[-1] if lines else "")
+        return code, lines
+
+    def _script(self):
         setup = ["ATZ", f'AT+CGDCONT=1,"IP","{self.apn}"'] + self.init_commands
         for command in setup:
             terminal, _ = yield from chat(self.port, command)

@@ -173,6 +173,20 @@ class Netfilter:
             "filter": Table("filter"),
         }
         self.dropped = 0
+        #: optional :class:`~repro.obs.MetricsRegistry`; when bound, the
+        #: dispatcher counts marked and dropped packets per slice xid.
+        self.metrics = None
+
+    def _note_drop(self, packet: Packet, hook: str) -> None:
+        self.dropped += 1
+        if self.metrics is not None:
+            self.metrics.counter("netfilter.dropped").inc()
+            self.metrics.counter(f"netfilter.dropped.xid.{packet.xid}").inc()
+
+    def _note_mark(self, packet: Packet, mark_before: int) -> None:
+        if self.metrics is not None and packet.mark != mark_before:
+            self.metrics.counter("netfilter.marked").inc()
+            self.metrics.counter(f"netfilter.marked.xid.{packet.xid}").inc()
 
     def table(self, name: str) -> Table:
         """Look up a table (``filter`` or ``mangle``)."""
@@ -188,14 +202,16 @@ class Netfilter:
     ) -> bool:
         """Run every table registered at ``hook``; False means DROP."""
         ctx = PacketContext(packet, hook, in_iface=in_iface, out_iface=out_iface, now=now)
+        mark_before = packet.mark
         for table_name in HOOK_TABLE_ORDER[hook]:
             chain = self.tables[table_name].chains.get(hook)
             if chain is None:
                 continue
             verdict = chain.traverse(ctx)
             if verdict == Verdict.DROP:
-                self.dropped += 1
+                self._note_drop(packet, hook)
                 return False
+        self._note_mark(packet, mark_before)
         return True
 
     def run_chain(
@@ -218,7 +234,9 @@ class Netfilter:
         chain = self.tables[table].chains.get(hook)
         if chain is None:
             return True
+        mark_before = packet.mark
         if chain.traverse(ctx) == Verdict.DROP:
-            self.dropped += 1
+            self._note_drop(packet, hook)
             return False
+        self._note_mark(packet, mark_before)
         return True

@@ -1,0 +1,249 @@
+"""The TraceBus: structured events and spans stamped with sim-time.
+
+Every instrumented component emits through the :class:`TraceBus` hung
+off the simulator (``sim.trace``).  Emission is **zero-cost when no
+sink is attached**: ``emit`` returns immediately and ``span`` hands out
+a shared no-op span, so tier-1 determinism and benchmark numbers are
+unaffected by the mere presence of the instrumentation hooks.
+
+Events carry two clocks: ``sim_time`` (the virtual clock, what the
+paper's phases are measured in) and ``wall_time`` (``perf_counter``,
+only sampled while a sink is attached) so span ends can report both the
+simulated duration of a dial-up phase and the real CPU cost of
+simulating it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Dict, List, Optional
+
+#: Event kinds emitted by the instrumentation hooks.
+KIND_EVENT = "event"
+KIND_SPAN_START = "span_start"
+KIND_SPAN_END = "span_end"
+KIND_TRANSITION = "transition"
+KIND_ERROR = "error"
+
+
+class TraceEvent:
+    """One structured trace record."""
+
+    __slots__ = (
+        "seq",
+        "sim_time",
+        "wall_time",
+        "kind",
+        "name",
+        "status",
+        "span_id",
+        "parent_id",
+        "fields",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        sim_time: float,
+        wall_time: float,
+        kind: str,
+        name: str,
+        status: Optional[str] = None,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        fields: Optional[Dict[str, Any]] = None,
+    ):
+        self.seq = seq
+        self.sim_time = sim_time
+        self.wall_time = wall_time
+        self.kind = kind
+        self.name = name
+        self.status = status
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.fields = fields or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as a plain dict (what the JSONL exporter writes)."""
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "t": self.sim_time,
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.status is not None:
+            out["status"] = self.status
+        if self.span_id is not None:
+            out["span"] = self.span_id
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceEvent #{self.seq} t={self.sim_time:.3f} {self.kind} {self.name}>"
+
+
+def format_event(event: TraceEvent) -> str:
+    """One human-readable line for an event (CLI and flight-recorder dumps)."""
+    status = f" [{event.status}]" if event.status else ""
+    parts = []
+    for key, value in event.fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    fields = (" " + " ".join(parts)) if parts else ""
+    return f"[{event.sim_time:10.3f}s] {event.kind:<11} {event.name}{status}{fields}"
+
+
+class Span:
+    """A live span handle: end it (or use it as a context manager).
+
+    The start event is emitted on creation; :meth:`end` emits the
+    matching ``span_end`` carrying both the simulated duration and the
+    wall-clock cost of the phase.
+    """
+
+    __slots__ = ("_bus", "span_id", "name", "parent_id", "_start_sim", "_start_wall", "_ended")
+
+    def __init__(self, bus: "TraceBus", span_id: int, name: str, parent_id: Optional[int]):
+        self._bus = bus
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self._start_sim = bus.sim.now
+        self._start_wall = time.perf_counter()
+        self._ended = False
+
+    def annotate(self, **fields: Any) -> None:
+        """Emit a point event attached to this span."""
+        self._bus.emit(self.name, kind=KIND_EVENT, span_id=self.span_id, **fields)
+
+    def end(self, status: str = "ok", **fields: Any) -> None:
+        """Close the span.  Idempotent; extra fields ride on the end event."""
+        if self._ended:
+            return
+        self._ended = True
+        fields.setdefault("duration", self._bus.sim.now - self._start_sim)
+        fields.setdefault("wall", time.perf_counter() - self._start_wall)
+        self._bus.emit(
+            self.name,
+            kind=KIND_SPAN_END,
+            status=status,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            **fields,
+        )
+
+    def fail(self, reason: str = "", **fields: Any) -> None:
+        """Close the span with status ``error`` (flight-recorder trigger)."""
+        if reason:
+            fields.setdefault("reason", reason)
+        self.end(status="error", **fields)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.fail(reason=str(exc))
+        else:
+            self.end()
+
+
+class NullSpan:
+    """The shared no-op span handed out while no sink is attached."""
+
+    __slots__ = ()
+
+    span_id = None
+    parent_id = None
+    name = ""
+
+    def annotate(self, **fields: Any) -> None:
+        """No-op."""
+
+    def end(self, status: str = "ok", **fields: Any) -> None:
+        """No-op."""
+
+    def fail(self, reason: str = "", **fields: Any) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class TraceBus:
+    """Fan-out point between instrumented components and trace sinks."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._sinks: List[Any] = []
+        self._seq = itertools.count()
+        self._span_ids = itertools.count(1)
+
+    @property
+    def enabled(self) -> bool:
+        """True while at least one sink is attached."""
+        return bool(self._sinks)
+
+    def attach(self, sink) -> Any:
+        """Attach a sink (anything with ``on_event(event)``)."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink) -> None:
+        """Detach a previously attached sink.  Idempotent."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def emit(
+        self,
+        name: str,
+        kind: str = KIND_EVENT,
+        status: Optional[str] = None,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        **fields: Any,
+    ) -> Optional[TraceEvent]:
+        """Deliver one event to every sink; no-op without sinks."""
+        if not self._sinks:
+            return None
+        event = TraceEvent(
+            next(self._seq),
+            self.sim.now,
+            time.perf_counter(),
+            kind,
+            name,
+            status=status,
+            span_id=span_id,
+            parent_id=parent_id,
+            fields=fields,
+        )
+        for sink in self._sinks:
+            sink.on_event(event)
+        return event
+
+    def error(self, name: str, **fields: Any):
+        """Emit an ``error``-kind event (what flight recorders trigger on)."""
+        return self.emit(name, kind=KIND_ERROR, status="error", **fields)
+
+    def span(self, name: str, parent: Optional[Span] = None, **fields: Any):
+        """Open a span (no-op span when no sink is attached)."""
+        if not self._sinks:
+            return NULL_SPAN
+        parent_id = parent.span_id if parent is not None else None
+        span_id = next(self._span_ids)
+        self.emit(
+            name, kind=KIND_SPAN_START, span_id=span_id, parent_id=parent_id, **fields
+        )
+        return Span(self, span_id, name, parent_id)

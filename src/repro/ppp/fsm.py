@@ -80,6 +80,43 @@ class NegotiationFsm:
         self._restart_counter = 0
         self._terminate_counter = 0
         self._timer: Optional[Event] = None
+        self._nego_span = None
+
+    # -- observability -------------------------------------------------
+
+    def _set_state(self, new_state: "FsmState", reason: str = "") -> None:
+        """Move the automaton, emitting the transition on the trace bus."""
+        old_state = self.state
+        self.state = new_state
+        if old_state is new_state:
+            return
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                f"ppp.{self.protocol_name.lower()}.state",
+                kind="transition",
+                old=old_state.value,
+                new=new_state.value,
+                reason=reason,
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"ppp.{self.protocol_name.lower()}.transitions").inc()
+
+    def _begin_nego_span(self) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            self._nego_span = trace.span(
+                f"ppp.{self.protocol_name.lower()}.negotiation"
+            )
+
+    def _end_nego_span(self, status: str, reason: str = "") -> None:
+        span, self._nego_span = self._nego_span, None
+        if span is not None:
+            if status == "ok":
+                span.end()
+            else:
+                span.fail(reason)
 
     # -- option policy hooks -------------------------------------------
 
@@ -114,15 +151,17 @@ class NegotiationFsm:
             return
         self.options = self.initial_options()
         self._restart_counter = self.max_configure
+        self._begin_nego_span()
         self._send_configure_request()
-        self.state = FsmState.REQ_SENT
+        self._set_state(FsmState.REQ_SENT, "open")
 
     def close(self, reason: str = "administrative close") -> None:
         """Tear the protocol down with Terminate-Request."""
         if self.state == FsmState.CLOSED:
             return
         was_open = self.state == FsmState.OPENED
-        self.state = FsmState.CLOSING
+        self._set_state(FsmState.CLOSING, reason)
+        self._end_nego_span("error", reason)
         self._terminate_counter = MAX_TERMINATE
         self._send_terminate_request()
         if was_open and self.on_down is not None:
@@ -132,7 +171,8 @@ class NegotiationFsm:
         """Hard stop without Terminate exchange (carrier lost)."""
         was_open = self.state == FsmState.OPENED
         self._cancel_timer()
-        self.state = FsmState.CLOSED
+        self._set_state(FsmState.CLOSED, reason)
+        self._end_nego_span("error", reason)
         if was_open and self.on_down is not None:
             self.on_down(reason)
 
@@ -173,20 +213,21 @@ class NegotiationFsm:
             elif self.state == FsmState.OPENED:
                 # Renegotiation: drop back and re-request our side.
                 self._restart_counter = self.max_configure
+                self._begin_nego_span()
                 self._send_configure_request()
-                self.state = FsmState.ACK_SENT
+                self._set_state(FsmState.ACK_SENT, "renegotiation")
             else:
-                self.state = FsmState.ACK_SENT
+                self._set_state(FsmState.ACK_SENT, "peer request acked")
         else:
             self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
             if self.state == FsmState.ACK_SENT:
-                self.state = FsmState.REQ_SENT
+                self._set_state(FsmState.REQ_SENT, "peer request naked")
 
     def _rcv_configure_ack(self, packet: ControlPacket) -> None:
         if packet.identifier != self._current_id:
             return  # stale ack
         if self.state == FsmState.REQ_SENT:
-            self.state = FsmState.ACK_RCVD
+            self._set_state(FsmState.ACK_RCVD, "our request acked")
         elif self.state == FsmState.ACK_SENT:
             self._enter_opened()
 
@@ -197,24 +238,26 @@ class NegotiationFsm:
             self.on_nak(dict(packet.options))
             self._send_configure_request()
             if self.state == FsmState.ACK_RCVD:
-                self.state = FsmState.REQ_SENT
+                self._set_state(FsmState.REQ_SENT, "our request naked")
 
     def _rcv_terminate_request(self, packet: ControlPacket) -> None:
         self.send_packet(ControlPacket(TERM_ACK, packet.identifier))
         was_open = self.state == FsmState.OPENED
         self._cancel_timer()
-        self.state = FsmState.CLOSED
+        self._set_state(FsmState.CLOSED, "peer terminated")
+        self._end_nego_span("error", "peer terminated")
         if was_open and self.on_down is not None:
             self.on_down("peer terminated")
 
     def _rcv_terminate_ack(self, packet: ControlPacket) -> None:
         if self.state == FsmState.CLOSING:
             self._cancel_timer()
-            self.state = FsmState.CLOSED
+            self._set_state(FsmState.CLOSED, "terminate acked")
 
     def _enter_opened(self) -> None:
         self._cancel_timer()
-        self.state = FsmState.OPENED
+        self._set_state(FsmState.OPENED, "both sides acked")
+        self._end_nego_span("ok")
         if self.on_up is not None:
             self.on_up()
 
@@ -245,15 +288,27 @@ class NegotiationFsm:
         if self.state in (FsmState.REQ_SENT, FsmState.ACK_RCVD, FsmState.ACK_SENT):
             self._restart_counter -= 1
             if self._restart_counter <= 0:
-                self.state = FsmState.CLOSED
+                self._set_state(FsmState.CLOSED, "negotiation timed out")
+                self._end_nego_span("error", "negotiation timed out")
+                trace = self.sim.trace
+                if trace is not None:
+                    trace.error(
+                        f"ppp.{self.protocol_name.lower()}.timeout",
+                        protocol=self.protocol_name,
+                    )
                 if self.on_fail is not None:
                     self.on_fail(f"{self.protocol_name}: negotiation timed out")
                 return
             self._send_configure_request()
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.counter(
+                    f"ppp.{self.protocol_name.lower()}.retransmits"
+                ).inc()
         elif self.state == FsmState.CLOSING:
             self._terminate_counter -= 1
             if self._terminate_counter <= 0:
-                self.state = FsmState.CLOSED
+                self._set_state(FsmState.CLOSED, "terminate retries exhausted")
                 return
             self._send_terminate_request()
 

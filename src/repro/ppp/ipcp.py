@@ -37,6 +37,19 @@ class IpcpClientFsm(NegotiationFsm):
             options["dns2"] = str(UNSPECIFIED)
         return options
 
+    def on_nak(self, suggested: Dict[str, Any]) -> None:
+        """Fold in the server's assignment, tracing the offered address."""
+        super().on_nak(suggested)
+        if "addr" in suggested:
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    "ppp.ipcp.addr_offered",
+                    addr=str(suggested["addr"]),
+                    dns1=str(suggested.get("dns1", "")),
+                    dns2=str(suggested.get("dns2", "")),
+                )
+
     def check_peer_options(self, options: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         # The server announces its own address; the client accepts it.
         return CONF_ACK, options
@@ -107,6 +120,10 @@ class IpcpServerFsm(NegotiationFsm):
         if suggestions:
             merged = dict(options)
             merged.update(suggestions)
+            if "addr" in suggestions:
+                trace = self.sim.trace
+                if trace is not None:
+                    trace.emit("ppp.ipcp.addr_assigned", addr=str(self._assign))
             return CONF_NAK, merged
         return CONF_ACK, options
 

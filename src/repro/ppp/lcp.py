@@ -39,9 +39,15 @@ class LcpFsm(NegotiationFsm):
             # Same magic number on both sides: the link is looped back.
             self.loopback_detected = True
             suggestions["magic"] = (self.options["magic"] + 1) & 0xFFFFFFFF
+            trace = self.sim.trace
+            if trace is not None:
+                trace.error("ppp.lcp.loopback", magic=peer_magic)
         peer_mru = options.get("mru", DEFAULT_MRU)
         if peer_mru < MIN_MRU:
             suggestions["mru"] = DEFAULT_MRU
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit("ppp.lcp.mru_naked", offered=peer_mru, suggested=DEFAULT_MRU)
         if suggestions:
             merged = dict(options)
             merged.update(suggestions)

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, List, Optional
 
 from repro.sim.errors import ScheduleInPastError
+
+#: Histogram edges for per-event wall-clock dispatch cost (seconds).
+DISPATCH_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1)
 
 
 class Event:
@@ -66,6 +70,13 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        #: optional :class:`~repro.obs.TraceBus`; components check this
+        #: before emitting, so ``None`` keeps the stack uninstrumented.
+        self.trace = None
+        #: optional :class:`~repro.obs.MetricsRegistry` (same contract).
+        self.metrics = None
+        #: optional ``callback(event, wall_seconds)`` run after each dispatch.
+        self.on_dispatch: Optional[Callable[[Event, float], None]] = None
 
     @property
     def now(self) -> float:
@@ -111,9 +122,27 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
-            event.callback(*event.args)
+            if self.metrics is None and self.on_dispatch is None:
+                event.callback(*event.args)
+            else:
+                self._dispatch_instrumented(event)
             return True
         return False
+
+    def _dispatch_instrumented(self, event: Event) -> None:
+        """Dispatch one event under timing/metrics instrumentation."""
+        start = time.perf_counter()
+        event.callback(*event.args)
+        elapsed = time.perf_counter() - start
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("engine.events_dispatched").inc()
+            metrics.histogram("engine.dispatch_wall_seconds", DISPATCH_BUCKETS).observe(
+                elapsed
+            )
+            metrics.gauge("engine.queue_depth").set(len(self._heap))
+        if self.on_dispatch is not None:
+            self.on_dispatch(event, elapsed)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the event loop.

@@ -59,9 +59,12 @@ class TimeSeries:
         return min(values)
 
     def stdev(self) -> float:
-        """Population standard deviation of the (non-NaN) values."""
+        """Population standard deviation of the (non-NaN) values.
+
+        A single sample has zero spread; only an empty series is NaN.
+        """
         values = self._finite()
-        if len(values) < 2:
+        if not values:
             return math.nan
         mu = self.mean()
         return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))

@@ -140,6 +140,12 @@ class VsysDaemon:
         self._require_script(script)
         if not self.is_allowed(script, slice_name):
             self.calls_denied += 1
+            trace = self._sim.trace
+            if trace is not None:
+                trace.error("vsys.acl_denied", script=script, slice=slice_name)
+            metrics = self._sim.metrics
+            if metrics is not None:
+                metrics.counter("vsys.denied").inc()
             raise VsysError(
                 f"slice {slice_name!r} is not in the ACL of vsys script {script!r}"
             )
@@ -147,7 +153,7 @@ class VsysDaemon:
         handler = self._scripts[script]
         spawn(
             self._sim,
-            self._backend_loop(pipe, slice_name, handler),
+            self._backend_loop(pipe, slice_name, script, handler),
             name=f"vsys-backend:{script}:{slice_name}",
         )
         self.connections_opened += 1
@@ -157,7 +163,7 @@ class VsysDaemon:
         if script not in self._scripts:
             raise VsysError(f"no vsys script {script!r}")
 
-    def _backend_loop(self, pipe: FifoPair, slice_name: str, handler: Handler):
+    def _backend_loop(self, pipe: FifoPair, slice_name: str, script: str, handler: Handler):
         """Root-context process servicing one FIFO pair until EOF."""
         while True:
             line = yield pipe.to_backend.get()
@@ -169,6 +175,13 @@ class VsysDaemon:
                 pipe.to_frontend.put(f"vsys: unparsable request: {exc}")
                 pipe.to_frontend.put((_EXIT_SENTINEL, 1))
                 continue
+            trace = self._sim.trace
+            span = (
+                trace.span("vsys.request", script=script, slice=slice_name, argv=line)
+                if trace is not None
+                else None
+            )
+            started_at = self._sim.now
             try:
                 outcome = handler(slice_name, argv)
                 if inspect.isgenerator(outcome):
@@ -176,6 +189,16 @@ class VsysDaemon:
                 code, lines = outcome if outcome is not None else (0, [])
             except Exception as exc:  # back-end crash → exit 1, like a real script
                 code, lines = 1, [f"error: {exc}"]
+            if span is not None:
+                span.end(status="ok" if code == 0 else "error", code=code)
+            metrics = self._sim.metrics
+            if metrics is not None:
+                metrics.counter("vsys.requests").inc()
+                if code != 0:
+                    metrics.counter("vsys.failures").inc()
+                metrics.histogram("vsys.latency_seconds").observe(
+                    self._sim.now - started_at
+                )
             for out_line in lines:
                 pipe.to_frontend.put(out_line)
             pipe.to_frontend.put((_EXIT_SENTINEL, code))

@@ -1,0 +1,76 @@
+"""Unit tests for the flight recorder: bounded ring, dump-on-error."""
+
+import pytest
+
+from repro.obs import FlightRecorder, TraceBus
+from repro.sim.engine import Simulator
+
+
+def make_recorder(capacity=4):
+    sim = Simulator()
+    bus = TraceBus(sim)
+    recorder = bus.attach(FlightRecorder(capacity=capacity))
+    return bus, recorder
+
+
+def test_ring_is_bounded():
+    bus, recorder = make_recorder(capacity=4)
+    for i in range(10):
+        bus.emit(f"event-{i}")
+    assert len(recorder) == 4
+    assert [e.name for e in recorder.recent()] == [
+        "event-6", "event-7", "event-8", "event-9",
+    ]
+    assert recorder.dumps == []
+    assert recorder.last_dump() is None
+
+
+def test_error_freezes_a_dump():
+    bus, recorder = make_recorder(capacity=4)
+    for i in range(6):
+        bus.emit(f"event-{i}")
+    bus.error("stack.died", reason="carrier lost")
+    assert len(recorder.dumps) == 1
+    dump = recorder.last_dump()
+    # The dump holds the last `capacity` events, trigger included,
+    # oldest first.
+    assert [e.name for e in dump] == ["event-3", "event-4", "event-5", "stack.died"]
+    # The ring keeps rolling after the dump; the frozen copy does not.
+    bus.emit("afterwards")
+    assert [e.name for e in dump][-1] == "stack.died"
+
+
+def test_each_error_dumps_again():
+    bus, recorder = make_recorder()
+    bus.error("first")
+    bus.emit("between")
+    bus.error("second")
+    assert len(recorder.dumps) == 2
+    assert recorder.last_dump()[-1].name == "second"
+
+
+def test_on_dump_callback_fires():
+    seen = []
+    sim = Simulator()
+    bus = TraceBus(sim)
+    bus.attach(FlightRecorder(capacity=8, on_dump=seen.append))
+    bus.emit("context")
+    bus.error("boom")
+    assert len(seen) == 1
+    assert [e.name for e in seen[0]] == ["context", "boom"]
+
+
+def test_dump_lines_formatting():
+    bus, recorder = make_recorder()
+    assert recorder.dump_lines() == ["flight recorder: no dump captured"]
+    bus.emit("context")
+    bus.error("boom")
+    lines = recorder.dump_lines()
+    assert lines[0] == "flight recorder dump: last 2 events (trigger: boom)"
+    assert "context" in lines[1]
+    assert "boom" in lines[2]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    c = Counter("hits")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert c.as_dict() == {"type": "counter", "value": 5}
+
+
+def test_counter_rejects_negative_amounts():
+    c = Counter("hits")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_extremes():
+    g = Gauge("depth")
+    g.set(3.0)
+    g.set(7.0)
+    g.set(1.0)
+    assert g.value == 1.0
+    assert g.max_value == 7.0
+    assert g.min_value == 1.0
+    assert g.updates == 3
+    g.inc(2.0)
+    g.dec(0.5)
+    assert g.value == 2.5
+
+
+def test_gauge_export_before_first_set():
+    snapshot = Gauge("idle").as_dict()
+    assert snapshot["max"] is None
+    assert snapshot["min"] is None
+    assert snapshot["updates"] == 0
+
+
+def test_histogram_bucket_edges_are_inclusive():
+    # A sample lands in the first bucket whose (inclusive) upper edge
+    # is >= the value; past the last edge it is overflow.
+    h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+    h.observe(0.1)   # exactly on the first edge -> first bucket
+    h.observe(0.05)  # below the first edge -> first bucket
+    h.observe(0.2)   # between edges -> second bucket
+    h.observe(1.0)   # exactly on the second edge -> second bucket
+    h.observe(10.0)  # exactly on the last edge -> last bucket
+    h.observe(10.1)  # past the last edge -> overflow
+    assert h.counts == [2, 2, 1]
+    assert h.overflow == 1
+    assert h.count == 6
+    assert h.max_value == 10.1
+    assert h.min_value == 0.05
+    assert h.mean == pytest.approx((0.1 + 0.05 + 0.2 + 1.0 + 10.0 + 10.1) / 6)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("unsorted", buckets=(1.0, 0.5))
+
+
+def test_histogram_mean_of_empty_is_nan():
+    assert math.isnan(Histogram("empty-ish", buckets=(1.0,)).mean)
+
+
+def test_histogram_export_keys_buckets_by_edge():
+    h = Histogram("h", buckets=(0.5, 2.0))
+    h.observe(0.4)
+    snapshot = h.as_dict()
+    assert snapshot["buckets"] == {"le_0.5": 1, "le_2": 0}
+    assert snapshot["overflow"] == 0
+
+
+def test_registry_get_or_create_is_stable():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert registry.names() == ["a", "b", "c"]
+    assert "a" in registry
+    assert len(registry) == 3
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_export_round_trips_through_json():
+    registry = MetricsRegistry()
+    registry.counter("reqs").inc(2)
+    registry.gauge("depth").set(4.0)
+    registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+    decoded = json.loads(registry.to_json())
+    assert decoded["reqs"]["value"] == 2
+    assert decoded["depth"]["max"] == 4.0
+    assert decoded["lat"]["count"] == 1
+    assert len(registry.summary_lines()) == 3

@@ -1,0 +1,173 @@
+"""Unit tests for the TraceBus: events, spans, zero-cost behaviour."""
+
+import io
+import json
+
+from repro.obs import (
+    KIND_ERROR,
+    KIND_EVENT,
+    KIND_SPAN_END,
+    KIND_SPAN_START,
+    NULL_SPAN,
+    JsonlSink,
+    ListSink,
+    TraceBus,
+    format_event,
+)
+from repro.sim.engine import Simulator
+
+
+def make_bus():
+    sim = Simulator()
+    bus = TraceBus(sim)
+    sink = bus.attach(ListSink())
+    return sim, bus, sink
+
+
+def test_events_are_stamped_with_sim_time():
+    sim, bus, sink = make_bus()
+    sim.schedule(1.5, bus.emit, "first")
+    sim.schedule(4.0, bus.emit, "second")
+    sim.run()
+    assert [e.name for e in sink.events] == ["first", "second"]
+    assert [e.sim_time for e in sink.events] == [1.5, 4.0]
+
+
+def test_trace_ordering_matches_sim_time():
+    # Events scheduled out of order arrive in sim-time order, with
+    # strictly increasing sequence numbers.
+    sim, bus, sink = make_bus()
+    for t in (3.0, 1.0, 2.0, 1.0):
+        sim.schedule(t, bus.emit, f"at-{t}")
+    sim.run()
+    times = [e.sim_time for e in sink.events]
+    assert times == sorted(times)
+    seqs = [e.seq for e in sink.events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_emit_without_sink_is_a_noop():
+    sim = Simulator()
+    bus = TraceBus(sim)
+    assert not bus.enabled
+    assert bus.emit("nobody-listening") is None
+    assert bus.span("nobody-listening") is NULL_SPAN
+    # The shared null span swallows everything silently.
+    span = bus.span("x")
+    span.annotate(key="value")
+    span.fail("ignored")
+    with bus.span("y"):
+        pass
+
+
+def test_sequence_not_consumed_while_disabled():
+    sim, bus, sink = make_bus()
+    bus.emit("a")
+    bus.detach(sink)
+    bus.emit("dropped")
+    bus.attach(sink)
+    bus.emit("b")
+    assert [e.seq for e in sink.events] == [0, 1]
+
+
+def test_span_start_end_pair_share_span_id():
+    sim, bus, sink = make_bus()
+
+    def body():
+        span = bus.span("phase", attempt=1)
+        yield 2.5
+        span.end(code=0)
+
+    from repro.sim.process import spawn
+
+    spawn(sim, body())
+    sim.run()
+    start, end = sink.events
+    assert start.kind == KIND_SPAN_START
+    assert end.kind == KIND_SPAN_END
+    assert start.span_id == end.span_id
+    assert start.fields == {"attempt": 1}
+    assert end.status == "ok"
+    assert end.fields["duration"] == 2.5
+    assert end.fields["code"] == 0
+    assert end.fields["wall"] >= 0.0
+
+
+def test_span_end_is_idempotent():
+    sim, bus, sink = make_bus()
+    span = bus.span("once")
+    span.end()
+    span.end()
+    span.fail("too late")
+    assert [e.kind for e in sink.events] == [KIND_SPAN_START, KIND_SPAN_END]
+
+
+def test_span_fail_and_error_kinds():
+    sim, bus, sink = make_bus()
+    span = bus.span("doomed")
+    span.fail("it broke")
+    bus.error("stack.crashed", detail="boom")
+    end, error = sink.events[1:]
+    assert end.status == "error"
+    assert end.fields["reason"] == "it broke"
+    assert error.kind == KIND_ERROR
+    assert error.fields["detail"] == "boom"
+
+
+def test_span_context_manager_marks_exceptions():
+    sim, bus, sink = make_bus()
+    try:
+        with bus.span("guarded"):
+            raise RuntimeError("inner failure")
+    except RuntimeError:
+        pass
+    end = sink.events[-1]
+    assert end.status == "error"
+    assert "inner failure" in end.fields["reason"]
+
+
+def test_child_span_records_parent():
+    sim, bus, sink = make_bus()
+    parent = bus.span("outer")
+    child = bus.span("inner", parent=parent)
+    child.end()
+    parent.end()
+    child_start = sink.events[1]
+    assert child_start.parent_id == parent.span_id
+
+
+def test_annotate_attaches_to_span():
+    sim, bus, sink = make_bus()
+    span = bus.span("phase")
+    span.annotate(progress="half")
+    event = sink.events[-1]
+    assert event.kind == KIND_EVENT
+    assert event.span_id == span.span_id
+    assert event.fields == {"progress": "half"}
+
+
+def test_jsonl_sink_round_trips_events():
+    sim = Simulator()
+    bus = TraceBus(sim)
+    buffer = io.StringIO()
+    sink = bus.attach(JsonlSink(buffer))
+    bus.emit("hello", answer=42)
+    bus.error("goodbye")
+    sink.close()
+    lines = buffer.getvalue().splitlines()
+    assert sink.written == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["name"] == "hello"
+    assert first["fields"] == {"answer": 42}
+    assert second["kind"] == KIND_ERROR
+    assert second["status"] == "error"
+
+
+def test_format_event_is_readable():
+    sim, bus, sink = make_bus()
+    bus.emit("dial.register", kind=KIND_SPAN_START, attempt=3)
+    line = format_event(sink.events[0])
+    assert "span_start" in line
+    assert "dial.register" in line
+    assert "attempt=3" in line

@@ -24,6 +24,12 @@ def test_empty_series_stats_are_nan():
     assert math.isnan(ts.stdev())
 
 
+def test_single_sample_stdev_is_zero():
+    # One sample has no spread — stdev must be 0.0, not NaN.
+    ts = make_series([(0, 5.0)])
+    assert ts.stdev() == 0.0
+
+
 def test_add_and_basic_stats():
     ts = make_series([(0, 1.0), (1, 2.0), (2, 3.0)])
     assert len(ts) == 3

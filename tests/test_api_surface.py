@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.modem",
     "repro.net",
     "repro.netfilter",
+    "repro.obs",
     "repro.ppp",
     "repro.routing",
     "repro.sim",

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -11,6 +13,37 @@ def test_demo_command(capsys):
     assert "pppd: ppp0 up" in out
     assert "locked by: unina_umts" in out
     assert "demo complete" in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    for phase in ("dial.register", "dial.dial", "ppp.lcp.negotiation",
+                  "ppp.ipcp.negotiation", "dial.addr_assigned",
+                  "vsys.request", "umts.cmd"):
+        assert phase in out, f"missing {phase} in trace output"
+    assert "metrics:" in out
+    assert "vsys.requests: 4" in out
+    assert "flight recorder dump" not in out
+
+
+def test_trace_fail_dumps_flight_recorder(capsys):
+    assert main(["trace", "--fail"]) == 1
+    out = capsys.readouterr().out
+    assert "dial.dial.failed" in out
+    assert "flight recorder dump" in out
+
+
+def test_trace_jsonl_export(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["trace", "--jsonl", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace exported to {path}" in out
+    lines = path.read_text().splitlines()
+    assert lines
+    record = json.loads(lines[0])
+    assert {"seq", "t", "kind", "name"} <= set(record)
 
 
 def test_voip_command(capsys):

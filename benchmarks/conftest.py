@@ -5,49 +5,43 @@ full length (120 s, as in §3.1) on both paths; the per-figure benches
 time the decode/regeneration step against those cached runs and check
 the figure's shape, printing paper-vs-measured rows.  One bench times
 the full end-to-end simulation itself.
+
+The session runs go through :mod:`repro.bench` — the same
+:func:`~repro.bench.scenarios.characterization_pair` helper and
+:func:`~repro.bench.runner.time_once` timer the ``repro bench``
+CLI uses — so pytest benches and the CI bench harness measure and
+report through one code path.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import (
-    PATH_ETHERNET,
-    PATH_UMTS,
-    cbr,
-    run_characterization,
-    voip_g711,
-)
+from repro.bench import BENCH_DURATION, BENCH_SEED, characterization_pair, time_once
 
 #: One seed for the headline runs (repeatability is its own bench).
-SEED = 3
-DURATION = 120.0
+SEED = BENCH_SEED
+DURATION = BENCH_DURATION
+
+
+def _session_pair(kind: str):
+    elapsed, runs = time_once(lambda: characterization_pair(kind, seed=SEED,
+                                                            duration=DURATION))
+    print(f"\n[bench] {kind}_characterization pair: {elapsed * 1000:.1f} ms "
+          f"(seed {SEED}, {DURATION:.0f}s per path)")
+    return runs
 
 
 @pytest.fixture(scope="session")
 def voip_runs():
     """Figures 1-3: the 72 kbit/s VoIP-like flow on both paths."""
-    return {
-        "umts": run_characterization(
-            voip_g711(duration=DURATION), path=PATH_UMTS, seed=SEED
-        ),
-        "ethernet": run_characterization(
-            voip_g711(duration=DURATION), path=PATH_ETHERNET, seed=SEED
-        ),
-    }
+    return _session_pair("voip")
 
 
 @pytest.fixture(scope="session")
 def saturation_runs():
     """Figures 4-7: the 1 Mbit/s CBR flow on both paths."""
-    return {
-        "umts": run_characterization(
-            cbr(duration=DURATION), path=PATH_UMTS, seed=SEED
-        ),
-        "ethernet": run_characterization(
-            cbr(duration=DURATION), path=PATH_ETHERNET, seed=SEED
-        ),
-    }
+    return _session_pair("cbr")
 
 
 def print_figure(title: str, unit: str, scale: float, umts_series, eth_series) -> None:

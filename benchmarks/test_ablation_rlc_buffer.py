@@ -9,7 +9,6 @@ what the design says, and a map for recalibrating against other
 operators.
 """
 
-import pytest
 
 from repro import PATH_UMTS, cbr, run_characterization
 from repro.umts.operator import RadioProfile, commercial_operator

@@ -7,7 +7,6 @@ channel), so performance regressions in the substrate show up here
 before they make the figure benches crawl.
 """
 
-import pytest
 
 from repro.net.interface import EthernetInterface
 from repro.net.link import Link

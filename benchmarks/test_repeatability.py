@@ -10,7 +10,6 @@ between runs.
 
 import math
 
-import pytest
 
 from repro import PATH_UMTS, cbr, run_repetitions, voip_g711
 

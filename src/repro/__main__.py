@@ -1,6 +1,6 @@
 """Command-line front door: ``python -m repro <command>``.
 
-Four commands, mirroring the paper's narrative:
+Five commands, mirroring the paper's narrative:
 
 - ``demo`` — bring the UMTS connection up on the simulated PlanetLab
   node, show the ``umts`` command output, send one packet each way;
@@ -10,7 +10,11 @@ Four commands, mirroring the paper's narrative:
 - ``voip`` — the Figures 1-3 experiment (72 kbit/s VoIP-like flow),
   printed as a summary table for both paths;
 - ``saturation`` — the Figures 4-7 experiment (1 Mbit/s flow) with the
-  RAB adaptation timeline.
+  RAB adaptation timeline;
+- ``bench`` — the hot-path benchmark harness: run the scenario
+  registry, refresh the ``BENCH_*.json`` baselines, or check fresh
+  runs against them (``--check`` exits 1 on regression; see
+  docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -122,6 +126,56 @@ def _cmd_saturation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        REGISTRY,
+        baseline_path,
+        compare_result,
+        load_baseline,
+        result_payload,
+        run_scenario,
+        save_baseline,
+    )
+
+    if args.list:
+        for scenario in REGISTRY.values():
+            print(f"{scenario.name:<24} {scenario.description}")
+        return 0
+    names = args.scenario or list(REGISTRY)
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        scenario = REGISTRY[name]
+        result = run_scenario(scenario, repeats=args.repeats, warmup=args.warmup)
+        print(result.summary_line())
+        payload = result_payload(result, scenario)
+        if args.output_dir is not None:
+            save_baseline(payload, baseline_path(name, args.output_dir))
+        if args.update_baselines:
+            path = save_baseline(payload, baseline_path(name, args.root))
+            print(f"         wrote {path}")
+        if args.check:
+            baseline = load_baseline(baseline_path(name, args.root))
+            if baseline is None:
+                print(f"MISSING  {name:<24} no {baseline_path(name, args.root)} "
+                      "(run with --update-baselines first)")
+                failures += 1
+                continue
+            comparison = compare_result(
+                baseline, result, scenario.tolerance, scale=args.tolerance_scale
+            )
+            print(comparison.verdict_line())
+            if comparison.regressed:
+                failures += 1
+    if args.check:
+        print(f"bench check: {len(names) - failures}/{len(names)} scenarios pass")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -148,12 +202,51 @@ def main(argv=None) -> int:
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--duration", type=float, default=120.0)
+    bench_parser = sub.add_parser(
+        "bench", help="hot-path benchmarks: run, record baselines, check regressions"
+    )
+    bench_parser.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    bench_parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="write fresh BENCH_<scenario>.json baselines under --root",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="compare fresh runs against committed baselines; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--tolerance-scale", type=float, default=1.0, metavar="X",
+        help="multiply every scenario tolerance by X (CI uses 3.0)",
+    )
+    bench_parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json baselines (default: cwd)",
+    )
+    bench_parser.add_argument(
+        "--output-dir", default=None, metavar="DIR",
+        help="also write fresh result files here (CI artifact upload)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="override every scenario's timed repeat count",
+    )
+    bench_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="override every scenario's warmup count",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
         "trace": _cmd_trace,
         "voip": _cmd_voip,
         "saturation": _cmd_saturation,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import csv
 import pathlib
-from typing import List, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 from repro.sim.monitor import TimeSeries
 

@@ -1,0 +1,65 @@
+"""The regression comparator: fresh run vs. committed baseline.
+
+A scenario *regresses* when its fresh median exceeds the baseline
+median by more than the scenario's tolerance (scaled by the CI's
+``--tolerance-scale``, since shared runners are noisier than the
+machine the baselines were recorded on).  Medians at or below the
+baseline always pass — getting faster is never a failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple
+
+from repro.bench.runner import BenchResult
+
+
+class Comparison(NamedTuple):
+    """Verdict for one scenario."""
+
+    scenario: str
+    baseline_median_s: float
+    fresh_median_s: float
+    ratio: float
+    tolerance: float
+    scale: float
+    regressed: bool
+
+    @property
+    def allowed_ratio(self) -> float:
+        """The largest fresh/baseline ratio that still passes."""
+        return 1.0 + self.tolerance * self.scale
+
+    def verdict_line(self) -> str:
+        """One aligned PASS/REGRESS report row."""
+        verdict = "REGRESS" if self.regressed else "PASS"
+        return (
+            f"{verdict:<8} {self.scenario:<24} "
+            f"baseline {self.baseline_median_s * 1000:9.3f} ms   "
+            f"fresh {self.fresh_median_s * 1000:9.3f} ms   "
+            f"ratio {self.ratio:5.2f} (allowed {self.allowed_ratio:.2f})"
+        )
+
+
+def compare_result(
+    baseline: Dict[str, Any],
+    fresh: BenchResult,
+    tolerance: float,
+    scale: float = 1.0,
+) -> Comparison:
+    """Compare a fresh result against a loaded baseline document."""
+    if scale <= 0:
+        raise ValueError(f"tolerance scale must be positive, got {scale!r}")
+    baseline_median = float(baseline["result"]["median_s"])
+    if baseline_median <= 0:
+        raise ValueError(f"baseline median must be positive, got {baseline_median!r}")
+    ratio = fresh.median_s / baseline_median
+    return Comparison(
+        scenario=fresh.name,
+        baseline_median_s=baseline_median,
+        fresh_median_s=fresh.median_s,
+        ratio=ratio,
+        tolerance=tolerance,
+        scale=scale,
+        regressed=ratio > 1.0 + tolerance * scale,
+    )

@@ -1,0 +1,50 @@
+"""Stable digests of simulated outputs.
+
+The optimization passes this subsystem gates (engine fast path, HDLC
+tables, RNG samplers) must never change *what* the simulation
+computes, only how fast.  :func:`run_digest` folds everything a
+characterization run produces — the sender/receiver packet logs, the
+RTT records, the end-of-run summary, all four figure series, and the
+RAB grade history — into one SHA-256, so "bit-identical results" is a
+single string comparison.  ``repr`` of Python floats is
+shortest-round-trip and therefore stable across platforms and the
+CPython versions CI runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def run_digest(result) -> str:
+    """SHA-256 over every observable output of one characterization run."""
+    h = hashlib.sha256()
+    log = result.sender.log
+    for record in log.sent:
+        h.update(repr(tuple(record)).encode())
+    for record in log.rtt:
+        h.update(repr(tuple(record)).encode())
+    receiver_log = result.receiver.log_for(log.flow_id)
+    for record in receiver_log.received:
+        h.update(repr(tuple(record)).encode())
+    h.update(repr(tuple(result.summary)).encode())
+    for series in (
+        result.bitrate_kbps(),
+        result.jitter_series(),
+        result.loss_series(),
+        result.rtt_series(),
+    ):
+        h.update(repr(series.times).encode())
+        h.update(repr(series.values).encode())
+    if result.rab_history is not None:
+        h.update(repr(result.rab_history.as_pairs()).encode())
+    return h.hexdigest()
+
+
+def characterization_digest(kind: str, path: str, seed: int = 3,
+                            duration: float = 120.0) -> str:
+    """Run one workload on one path and digest its outputs."""
+    from repro import cbr, run_characterization, voip_g711
+
+    spec_fn = {"voip": voip_g711, "cbr": cbr}[kind]
+    return run_digest(run_characterization(spec_fn(duration=duration), path=path, seed=seed))

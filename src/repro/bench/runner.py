@@ -1,0 +1,140 @@
+"""The benchmark runner: warmup, repeated timed runs, robust stats.
+
+A :class:`Scenario` knows how to execute one timed iteration of a hot
+path; :func:`run_scenario` executes ``warmup`` untimed iterations then
+``repeats`` timed ones and returns a :class:`BenchResult` with the
+min/median/stdev of the per-iteration wall times.  Everything else —
+baseline persistence, regression comparison, the CLI — is built on
+these two types, and the pytest figure benches reuse
+:func:`time_once` so both report through one code path.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+def time_once(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Run ``fn`` once under ``perf_counter``; return (seconds, value)."""
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+class Scenario:
+    """One registered hot-path benchmark.
+
+    ``run_once`` must return the wall seconds of a single iteration;
+    scenarios time the interesting region themselves (via
+    :func:`time_once`) so per-iteration setup stays out of the
+    measurement.  ``tolerance`` is the fractional median slow-down the
+    comparator accepts before declaring a regression (CI multiplies it
+    by ``--tolerance-scale``).  ``reference_median_s`` optionally pins
+    the median measured on the code *before* the optimization pass this
+    subsystem shipped with, so baselines record the achieved speedup.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        run_once: Callable[[], float],
+        repeats: int = 5,
+        warmup: int = 1,
+        tolerance: float = 0.35,
+        reference_median_s: Optional[float] = None,
+    ):
+        self.name = name
+        self.description = description
+        self._run_once = run_once
+        self.repeats = repeats
+        self.warmup = warmup
+        self.tolerance = tolerance
+        self.reference_median_s = reference_median_s
+
+    def run_once(self) -> float:
+        """One timed iteration; returns wall seconds."""
+        return self._run_once()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Scenario {self.name!r} repeats={self.repeats} warmup={self.warmup}>"
+
+
+class BenchResult:
+    """Per-iteration wall times of one scenario run, plus stats."""
+
+    def __init__(self, name: str, times: List[float], warmup: int):
+        if not times:
+            raise ValueError("a bench result needs at least one timed run")
+        self.name = name
+        self.times = list(times)
+        self.warmup = warmup
+
+    @property
+    def repeats(self) -> int:
+        """Number of timed iterations."""
+        return len(self.times)
+
+    @property
+    def median_s(self) -> float:
+        """Median wall seconds — the comparator's headline statistic."""
+        return statistics.median(self.times)
+
+    @property
+    def min_s(self) -> float:
+        """Fastest iteration (least-noise estimate)."""
+        return min(self.times)
+
+    @property
+    def mean_s(self) -> float:
+        """Arithmetic mean of the iterations."""
+        return statistics.fmean(self.times)
+
+    @property
+    def stdev_s(self) -> float:
+        """Sample standard deviation; 0.0 with a single iteration."""
+        if len(self.times) < 2:
+            return 0.0
+        return statistics.stdev(self.times)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-facing representation (used by the baseline files)."""
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "times_s": self.times,
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "mean_s": self.mean_s,
+            "stdev_s": self.stdev_s,
+        }
+
+    def summary_line(self) -> str:
+        """One aligned human-readable report row."""
+        return (
+            f"{self.name:<24} median {self.median_s * 1000:9.3f} ms   "
+            f"min {self.min_s * 1000:9.3f} ms   "
+            f"stdev {self.stdev_s * 1000:8.3f} ms   (n={self.repeats})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BenchResult {self.name!r} median={self.median_s:.6f}s n={self.repeats}>"
+
+
+def run_scenario(
+    scenario: Scenario,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> BenchResult:
+    """Execute a scenario: warmup iterations, then timed repeats."""
+    n_warmup = scenario.warmup if warmup is None else warmup
+    n_repeats = scenario.repeats if repeats is None else repeats
+    if n_repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {n_repeats!r}")
+    for _ in range(n_warmup):
+        scenario.run_once()
+    times = [scenario.run_once() for _ in range(n_repeats)]
+    return BenchResult(scenario.name, times, n_warmup)

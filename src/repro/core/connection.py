@@ -10,7 +10,7 @@ dial-up takes seconds of wall clock.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.modem.comgt import Comgt
 from repro.modem.device import Modem3G

@@ -7,7 +7,7 @@ that primitive as a simulation generator (``yield from chat(...)``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.modem.serial import SerialPort
 

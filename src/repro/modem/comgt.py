@@ -10,7 +10,7 @@ lines) pair — the same contract vsys back-ends use.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.modem.chat import chat
 from repro.modem.device import RegistrationStatus

@@ -10,7 +10,7 @@ surfaces "NO CARRIER" as a carrier-lost event.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.modem.chat import chat
 from repro.modem.serial import SerialPort

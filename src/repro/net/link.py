@@ -64,7 +64,7 @@ class Channel:
         jitter: Optional[Distribution] = None,
         rng: Optional[_random.Random] = None,
         name: str = "",
-        length_of: Callable[[object], int] = None,
+        length_of: Optional[Callable[[object], int]] = None,
     ):
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps!r}")

@@ -10,7 +10,7 @@ interface carried a packet and what mark/xid it had on the wire.
 
 from __future__ import annotations
 
-from typing import Callable, List, NamedTuple, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.net.addressing import AddressLike, ip
 from repro.net.interface import Interface

@@ -20,7 +20,7 @@ Input
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.net.addressing import (
     PROTO_ICMP,

@@ -95,7 +95,8 @@ class Histogram:
     observed min/max are tracked alongside, so means survive export.
     """
 
-    __slots__ = ("name", "buckets", "counts", "overflow", "count", "total", "max_value", "min_value")
+    __slots__ = ("name", "buckets", "counts", "overflow", "count", "total",
+                 "max_value", "min_value")
 
     def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS):
         if not buckets:

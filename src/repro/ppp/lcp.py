@@ -22,7 +22,8 @@ class LcpFsm(NegotiationFsm):
 
     protocol_name = "LCP"
 
-    def __init__(self, *args, mru: int = DEFAULT_MRU, rng: Optional[_random.Random] = None, **kwargs):
+    def __init__(self, *args, mru: int = DEFAULT_MRU,
+                 rng: Optional[_random.Random] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.mru = mru
         self._rng = rng

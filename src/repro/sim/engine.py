@@ -6,14 +6,32 @@ A :class:`Simulator` owns a virtual clock and a priority queue of
 :meth:`Simulator.schedule_at` (absolute time) and the main loop
 dispatches them in timestamp order.  Ties are broken by insertion
 order, which keeps runs bit-for-bit deterministic.
+
+The heap stores ``(time, seq, event)`` tuples rather than bare
+:class:`Event` objects so that every heap sift compares tuples in C
+instead of calling a Python-level ``__lt__`` — the single largest cost
+in the dispatch loop.  ``seq`` is unique, so two entries never compare
+beyond the first two fields and the :class:`Event` objects themselves
+are never compared.
+
+:meth:`Simulator.run` has two loops.  The **fast path** runs when
+``trace``, ``metrics`` and ``on_dispatch`` are all ``None`` (the
+observability layer's no-sink contract): no ``time.perf_counter``
+pair, no histogram update, no per-event ``peek``/``step`` method-call
+round-trip.  Attaching instrumentation *mid-run* from inside a
+callback takes effect on the next :meth:`run` call; attach it before
+running (as :class:`repro.obs.Observability` does) for per-event
+coverage.  Both loops dispatch events in exactly the same order, so
+instrumented and uninstrumented runs are bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.errors import ScheduleInPastError
 
@@ -66,7 +84,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -87,20 +105,29 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, which can be cancelled.  A negative
-        delay raises :class:`ScheduleInPastError`.
+        (or NaN) delay raises :class:`ScheduleInPastError`.
         """
-        if delay < 0:
+        if not delay >= 0:  # rejects negatives and NaN in one comparison
             raise ScheduleInPastError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        when = self._now + delay
+        event = Event(when, seq := next(self._seq), callback, args)
+        heapq.heappush(self._heap, (when, seq, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at the absolute time ``time``."""
-        if time < self._now:
+        """Schedule ``callback(*args)`` at the absolute time ``time``.
+
+        A time earlier than the clock — or NaN, which would silently
+        corrupt the heap ordering — raises :class:`ScheduleInPastError`.
+        """
+        if not time >= self._now:
+            if math.isnan(time):
+                raise ScheduleInPastError(f"cannot schedule at NaN time {time!r}")
             raise ScheduleInPastError(
                 f"cannot schedule at {time!r}; clock already at {self._now!r}"
             )
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        event = Event(time, seq := next(self._seq), callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def stop(self) -> None:
@@ -109,19 +136,22 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` if none remained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, event = pop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = when
             if self.metrics is None and self.on_dispatch is None:
                 event.callback(*event.args)
             else:
@@ -151,23 +181,53 @@ class Simulator:
         deadline, events strictly after ``until`` are left pending and
         the clock is advanced exactly to ``until``.  Returns the final
         clock value.
+
+        When ``trace``, ``metrics`` and ``on_dispatch`` are all ``None``
+        a tight fast path is used; dispatch order is identical either
+        way.
         """
         self._running = True
         self._stopped = False
         try:
-            while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+            if self.trace is None and self.metrics is None and self.on_dispatch is None:
+                self._run_fast(until)
+            else:
+                self._run_instrumented(until)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
+    def _run_fast(self, until: Optional[float]) -> None:
+        """Uninstrumented loop: locals hoisted, one heap pop per event."""
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            until = math.inf
+        while heap and not self._stopped:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                pop(heap)
+                continue
+            when = head[0]
+            if when > until:
+                break
+            pop(heap)
+            self._now = when
+            event.callback(*event.args)
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """Original peek/step loop, used whenever instrumentation is attached."""
+        while not self._stopped:
+            next_time = self.peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still queued (O(n))."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)

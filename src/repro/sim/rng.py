@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 
 class RandomStreams:
@@ -33,10 +33,11 @@ class RandomStreams:
 
     def stream(self, name: str) -> random.Random:
         """Return (creating if needed) the RNG for ``name``."""
-        if name not in self._streams:
+        stream = self._streams.get(name)
+        if stream is None:
             digest = hashlib.sha256(f"{self.seed}/{name}".encode("utf-8")).digest()
-            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
-        return self._streams[name]
+            stream = self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return stream
 
     def fork(self, salt: str) -> "RandomStreams":
         """Derive a child family (e.g. one per experiment repetition)."""
@@ -61,6 +62,16 @@ class Distribution:
     def _draw(self, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        """A zero-argument draw with the RNG method lookups hoisted.
+
+        The default wraps :meth:`_draw`; subclasses override it to
+        close over the bound ``random.Random`` method directly so the
+        per-sample cost is one call, no attribute lookups.  The draw
+        sequence is identical to :meth:`sample` on the same RNG.
+        """
+        return lambda: self._draw(rng)
+
     def sample(self, rng: random.Random) -> float:
         """Draw one value, clamped to the configured bounds."""
         value = self._draw(rng)
@@ -69,6 +80,30 @@ class Distribution:
         if self.high is not None and value > self.high:
             value = self.high
         return value
+
+    def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """A fast-path sampler bound to ``rng``.
+
+        Equivalent to ``lambda: self.sample(rng)`` — same draws, same
+        clamping — but with the RNG method and bound lookups cached in
+        the closure, which matters in the traffic senders' per-packet
+        loop.
+        """
+        draw = self._bound_draw(rng)
+        low = self.low
+        high = self.high
+        if low is None and high is None:
+            return draw
+
+        def clamped() -> float:
+            value = draw()
+            if low is not None and value < low:
+                value = low
+            if high is not None and value > high:
+                value = high
+            return value
+
+        return clamped
 
     def mean(self) -> float:
         """Theoretical mean where defined; used by flow-spec sanity checks."""
@@ -84,6 +119,10 @@ class ConstantVariate(Distribution):
 
     def _draw(self, rng: random.Random) -> float:
         return self.value
+
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        value = self.value
+        return lambda: value
 
     def mean(self) -> float:
         """Theoretical mean of the distribution."""
@@ -106,6 +145,10 @@ class UniformVariate(Distribution):
     def _draw(self, rng: random.Random) -> float:
         return rng.uniform(self.a, self.b)
 
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        uniform, a, b = rng.uniform, self.a, self.b
+        return lambda: uniform(a, b)
+
     def mean(self) -> float:
         """Theoretical mean of the distribution."""
         return (self.a + self.b) / 2.0
@@ -125,6 +168,10 @@ class ExponentialVariate(Distribution):
 
     def _draw(self, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self._mean)
+
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        expovariate, lambd = rng.expovariate, 1.0 / self._mean
+        return lambda: expovariate(lambd)
 
     def mean(self) -> float:
         """Theoretical mean of the distribution."""
@@ -153,6 +200,10 @@ class NormalVariate(Distribution):
     def _draw(self, rng: random.Random) -> float:
         return rng.gauss(self.mu, self.sigma)
 
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        gauss, mu, sigma = rng.gauss, self.mu, self.sigma
+        return lambda: gauss(mu, sigma)
+
     def mean(self) -> float:
         """Theoretical mean of the distribution."""
         return self.mu
@@ -179,6 +230,10 @@ class ParetoVariate(Distribution):
 
     def _draw(self, rng: random.Random) -> float:
         return self.xm * rng.paretovariate(self.alpha)
+
+    def _bound_draw(self, rng: random.Random) -> Callable[[], float]:
+        paretovariate, alpha, xm = rng.paretovariate, self.alpha, self.xm
+        return lambda: xm * paretovariate(alpha)
 
     def mean(self) -> float:
         """Theoretical mean (infinite for shape alpha <= 1)."""

@@ -32,7 +32,6 @@ from __future__ import annotations
 import shlex
 from typing import List, NamedTuple, Optional
 
-from repro.net.addressing import AddressLike
 from repro.sim.engine import Simulator
 from repro.sim.rng import (
     ConstantVariate,

@@ -48,6 +48,11 @@ class ItgSender:
         self._sent_times = {}
         self._seq = itertools.count()
         self._process: Optional[Process] = None
+        # Per-packet fast paths: the IDT/PS samplers with their RNG
+        # method lookups hoisted (identical draw sequence to
+        # ``spec.idt.sample(rng)`` / ``spec.ps.sample(rng)``).
+        self._idt_sample = spec.idt.sampler(rng)
+        self._ps_sample = spec.ps.sampler(rng)
         socket.on_receive = self._on_receive
         if socket.port == 0:
             socket.bind()
@@ -60,10 +65,14 @@ class ItgSender:
         def body():
             if at > 0:
                 yield at
-            started = self.sim.now
-            while self.sim.now - started < self.spec.duration:
-                self._emit_one()
-                yield max(1e-6, self.spec.idt.sample(self.rng))
+            sim = self.sim
+            emit_one = self._emit_one
+            idt_sample = self._idt_sample
+            duration = self.spec.duration
+            started = sim.now
+            while sim.now - started < duration:
+                emit_one()
+                yield max(1e-6, idt_sample())
 
         self._process = spawn(self.sim, body(), name=f"itgsend:{self.spec.name}")
         return self._process
@@ -75,7 +84,7 @@ class ItgSender:
 
     def _emit_one(self) -> None:
         seq = next(self._seq)
-        size = int(round(self.spec.ps.sample(self.rng)))
+        size = int(round(self._ps_sample()))
         size = max(MIN_PAYLOAD, min(MAX_PAYLOAD, size))
         payload = ProbePayload(self.flow_id, seq, kind="probe", meter=self.spec.meter)
         try:

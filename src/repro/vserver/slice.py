@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List
 
-from repro.net.errors import PermissionDeniedError
 from repro.net.icmp import Pinger
 from repro.net.socket import UDPSocket
 from repro.vserver.context import SecurityContext

@@ -1,6 +1,5 @@
 """Tests for repetition-summary aggregation."""
 
-import math
 
 import pytest
 

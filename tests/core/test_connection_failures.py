@@ -5,7 +5,6 @@ these tests drive registration denial, dead networks, carrier loss
 mid-session, and re-dial after each failure.
 """
 
-import pytest
 
 from repro.core.connection import ConnectionState
 from repro.core.isolation import UMTS_TABLE

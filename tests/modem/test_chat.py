@@ -1,6 +1,5 @@
 """Unit tests for the chat primitive."""
 
-import pytest
 
 from repro.modem.chat import chat, is_terminal
 from repro.modem.serial import SerialPort

@@ -1,6 +1,5 @@
 """Unit tests for the AT-command modem state machine."""
 
-import pytest
 
 from repro.modem.cards import GlobetrotterGT3G, HuaweiE620
 from repro.modem.chat import chat

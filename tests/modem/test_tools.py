@@ -1,6 +1,5 @@
 """Unit tests for comgt and wvdial against a simulated modem."""
 
-import pytest
 
 from repro.modem.comgt import Comgt
 from repro.modem.device import Modem3G

@@ -5,7 +5,6 @@ import pytest
 from repro.net.errors import InterfaceDownError
 from repro.net.interface import (
     EthernetInterface,
-    Interface,
     LoopbackInterface,
     PPPInterface,
 )

@@ -1,6 +1,5 @@
 """Corner-path tests for the router/forwarding code paths."""
 
-import pytest
 
 from repro.net.interface import EthernetInterface
 from repro.net.link import Link

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.packet import Packet
-from repro.netfilter.chains import Netfilter, PacketContext
+from repro.netfilter.chains import Netfilter
 from repro.netfilter.iptables import Iptables, IptablesError
 from repro.netfilter.targets import Verdict
 

@@ -1,0 +1,144 @@
+"""The byte-level PPP codec: protocol packing and HDLC equivalence.
+
+The table-driven HDLC implementation is checked against a literal
+transcription of the RFC 1662 per-byte reference algorithm on random
+and adversarial inputs — same octets out, same errors raised.
+"""
+
+import random
+
+import pytest
+
+from repro.ppp.frame import (
+    PPP_IP,
+    PPP_IPCP,
+    PPP_LCP,
+    FrameError,
+    deframe_info,
+    frame_info,
+    pack_protocol,
+    unpack_protocol,
+)
+from repro.ppp.hdlc import ESCAPE_XOR, FLAG, HdlcError, _fcs16, hdlc_decode, hdlc_encode
+
+
+def test_pack_protocol_known_values():
+    assert pack_protocol(PPP_IP) == b"\x00\x21"
+    assert pack_protocol(PPP_LCP) == b"\xc0\x21"
+    assert pack_protocol(PPP_IPCP) == b"\x80\x21"
+    assert pack_protocol(0x1234) == b"\x12\x34"  # cache miss path
+
+
+def test_pack_protocol_rejects_out_of_range():
+    with pytest.raises(FrameError):
+        pack_protocol(0x10000)
+    with pytest.raises(FrameError):
+        pack_protocol(-1)
+
+
+def test_unpack_protocol_returns_memoryview():
+    protocol, info = unpack_protocol(b"\x00\x21hello")
+    assert protocol == PPP_IP
+    assert isinstance(info, memoryview)
+    assert bytes(info) == b"hello"
+    with pytest.raises(FrameError):
+        unpack_protocol(b"\x00")
+
+
+def test_frame_info_roundtrip():
+    frame = frame_info(PPP_LCP, b"\x01\x07\x00\x04")
+    assert frame[0] == FLAG and frame[-1] == FLAG
+    assert deframe_info(frame) == (PPP_LCP, b"\x01\x07\x00\x04")
+
+
+# --- reference (pre-optimization) HDLC transcription -------------------------
+
+
+def _ref_fcs16(data):
+    fcs = 0xFFFF
+    for byte in data:
+        fcs ^= byte
+        for _ in range(8):
+            fcs = (fcs >> 1) ^ 0x8408 if fcs & 1 else fcs >> 1
+    return fcs ^ 0xFFFF
+
+
+def _ref_encode(payload):
+    fcs = _ref_fcs16(payload)
+    body = payload + bytes([fcs & 0xFF, (fcs >> 8) & 0xFF])
+    out = bytearray([FLAG])
+    for byte in body:
+        if byte in (FLAG, 0x7D) or byte < 0x20:
+            out.append(0x7D)
+            out.append(byte ^ ESCAPE_XOR)
+        else:
+            out.append(byte)
+    out.append(FLAG)
+    return bytes(out)
+
+
+def _ref_decode(frame):
+    if len(frame) < 2 or frame[0] != FLAG or frame[-1] != FLAG:
+        raise HdlcError("frame not delimited by flag octets")
+    body = bytearray()
+    escaped = False
+    for byte in frame[1:-1]:
+        if escaped:
+            body.append(byte ^ ESCAPE_XOR)
+            escaped = False
+        elif byte == 0x7D:
+            escaped = True
+        elif byte == FLAG:
+            raise HdlcError("unescaped flag inside frame")
+        else:
+            body.append(byte)
+    if escaped:
+        raise HdlcError("frame ends mid-escape")
+    if len(body) < 2:
+        raise HdlcError("frame too short for FCS")
+    payload, fcs_bytes = bytes(body[:-2]), body[-2:]
+    if _ref_fcs16(payload) != (fcs_bytes[0] | (fcs_bytes[1] << 8)):
+        raise HdlcError("FCS mismatch")
+    return payload
+
+
+def test_table_fcs_matches_bitwise_reference():
+    rng = random.Random(99)
+    for _ in range(300):
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+        assert _fcs16(data) == _ref_fcs16(data)
+
+
+def test_encode_matches_reference():
+    rng = random.Random(7)
+    for _ in range(300):
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(120)))
+        assert hdlc_encode(payload) == _ref_encode(payload)
+
+
+def test_decode_matches_reference_on_adversarial_frames():
+    rng = random.Random(11)
+    interesting = [0x7E, 0x7D, 0x00, 0x1F, 0x20, 0x41]
+    for _ in range(2000):
+        choice = rng.random()
+        if choice < 0.4:
+            frame = bytes(rng.choice(interesting) for _ in range(rng.randrange(10)))
+        elif choice < 0.7:
+            mutated = bytearray(
+                _ref_encode(bytes(rng.randrange(256) for _ in range(rng.randrange(24))))
+            )
+            for _ in range(rng.randrange(3)):
+                if mutated:
+                    mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            frame = bytes(mutated)
+        else:
+            frame = b"\x7e" + bytes(rng.randrange(256) for _ in range(rng.randrange(30))) + b"\x7e"
+        try:
+            expected = ("ok", _ref_decode(frame))
+        except HdlcError as error:
+            expected = ("err", str(error))
+        try:
+            actual = ("ok", hdlc_decode(frame))
+        except HdlcError as error:
+            actual = ("err", str(error))
+        assert actual == expected, f"divergence on {frame!r}"

@@ -1,6 +1,5 @@
 """Unit tests driving the negotiation FSM directly (no transport)."""
 
-import pytest
 
 from repro.ppp.frame import (
     CONF_ACK,

@@ -1,6 +1,5 @@
 """Unit tests for the LCP and IPCP option policies."""
 
-import pytest
 
 from repro.ppp.frame import CONF_ACK, CONF_NAK, CONF_REQ, ControlPacket
 from repro.ppp.ipcp import IpcpClientFsm, IpcpServerFsm

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.net.interface import EthernetInterface
-from repro.net.link import Link
 from repro.net.stack import IPStack
 from repro.ppp.daemon import Pppd, PppError
 from repro.ppp.fsm import FsmState

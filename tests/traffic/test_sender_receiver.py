@@ -7,7 +7,6 @@ from repro.net.link import Link
 from repro.net.stack import IPStack
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
-from repro.traffic.decoder import ItgDecoder
 from repro.traffic.flows import cbr, poisson, voip_g711
 from repro.traffic.receiver import ItgReceiver
 from repro.traffic.sender import ItgSender

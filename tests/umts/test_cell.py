@@ -1,6 +1,5 @@
 """Unit tests for the radio cell."""
 
-import pytest
 
 from repro.modem.device import RegistrationStatus
 from repro.sim.engine import Simulator

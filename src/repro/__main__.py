@@ -14,7 +14,10 @@ Five commands, mirroring the paper's narrative:
 - ``bench`` — the hot-path benchmark harness: run the scenario
   registry, refresh the ``BENCH_*.json`` baselines, or check fresh
   runs against them (``--check`` exits 1 on regression; see
-  docs/BENCHMARKS.md).
+  docs/BENCHMARKS.md);
+- ``lint`` — the domain-aware static analyzer: determinism rules, the
+  RFC 1661 FSM exhaustiveness check, and annotation coverage for the
+  strict packages (exit 1 on findings; see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -176,6 +179,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import RULES, human_report, jsonl_report, lint_paths
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule_id:<20} {rule.severity.value:<8} {rule.description}")
+        return 0
+    unknown = [rule_id for rule_id in (args.rule or []) if rule_id not in RULES]
+    if unknown:
+        print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(RULES))}", file=sys.stderr)
+        return 2
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    findings = lint_paths(paths, rule_ids=args.rule or None)
+    if args.jsonl is not None:
+        lines = jsonl_report(findings)
+        if args.jsonl == "-":
+            for line in lines:
+                print(line)
+        else:
+            Path(args.jsonl).write_text("\n".join(lines) + ("\n" if lines else ""))
+            print(f"wrote {len(lines)} finding(s) to {args.jsonl}")
+    else:
+        for line in human_report(findings):
+            print(line)
+    checked = "all rules" if not args.rule else ", ".join(args.rule)
+    print(f"lint: {len(findings)} finding(s) ({checked})")
+    return 1 if findings else 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -240,6 +277,25 @@ def main(argv=None) -> int:
         "--warmup", type=int, default=None,
         help="override every scenario's warmup count",
     )
+    lint_parser = sub.add_parser(
+        "lint", help="domain-aware static analysis (determinism, FSM, typing)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", metavar="RULE",
+        help="run only this rule (repeatable; default: all)",
+    )
+    lint_parser.add_argument(
+        "--jsonl", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit findings as JSON lines to PATH (default: stdout)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -247,6 +303,7 @@ def main(argv=None) -> int:
         "voip": _cmd_voip,
         "saturation": _cmd_saturation,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

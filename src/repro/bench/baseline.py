@@ -49,6 +49,7 @@ def result_payload(result: BenchResult, scenario: Scenario) -> Dict[str, Any]:
         "tolerance": scenario.tolerance,
         "result": result.to_dict(),
         "machine": machine_metadata(),
+        # lint: allow(wall-clock) -- provenance metadata, never read by simulation
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     if scenario.reference_median_s is not None:

@@ -14,9 +14,10 @@ CPython versions CI runs.
 from __future__ import annotations
 
 import hashlib
+from typing import Any
 
 
-def run_digest(result) -> str:
+def run_digest(result: Any) -> str:
     """SHA-256 over every observable output of one characterization run."""
     h = hashlib.sha256()
     log = result.sender.log

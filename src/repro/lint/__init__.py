@@ -1,0 +1,44 @@
+"""repro.lint — domain-aware static analysis for the reproduction.
+
+Three rule families guard the properties the reproduction depends on:
+
+- **determinism** (:mod:`repro.lint.rules.determinism`) — no wall-clock
+  reads, no unseeded or module-level randomness, no iteration-order
+  dependence on sets or ``id()``; the golden run digests in
+  :mod:`repro.bench.determinism` are only meaningful if every byte of
+  simulated output is a pure function of the experiment seed;
+- **FSM exhaustiveness** (:mod:`repro.lint.rules.fsm`) — the RFC 1661
+  transition table in :mod:`repro.ppp.fsm` must cover the full
+  state × event matrix, name only declared target states, and keep
+  every state reachable; subclasses may only override policy hooks;
+- **typing** (:mod:`repro.lint.rules.typing_defs`) — the ``sim``,
+  ``ppp``, ``vsys`` and ``bench`` packages require fully annotated
+  defs, mirroring the mypy ``disallow_untyped_defs`` escalation in
+  ``pyproject.toml`` so violations surface even where mypy is absent.
+
+Findings are suppressed per line with ``# lint: allow(<rule-id>)``
+pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
+``python -m repro lint``; see ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import RULES, Finding, LintModule, Rule, Severity, register
+from repro.lint.report import human_report, jsonl_report
+from repro.lint.runner import iter_python_files, lint_paths
+
+# Importing the rule modules registers every rule in RULES.
+from repro.lint.rules import determinism, fsm, typing_defs  # noqa: F401  (registration)
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "RULES",
+    "Rule",
+    "Severity",
+    "human_report",
+    "iter_python_files",
+    "jsonl_report",
+    "lint_paths",
+    "register",
+]

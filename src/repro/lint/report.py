@@ -1,0 +1,21 @@
+"""Finding reporters: human-readable lines and JSONL."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.lint.core import Finding
+
+
+def human_report(findings: Iterable[Finding]) -> List[str]:
+    """``path:line:col: severity rule message`` rows, one per finding."""
+    return [
+        f"{f.path}:{f.line}:{f.col}: {f.severity.value} [{f.rule}] {f.message}"
+        for f in findings
+    ]
+
+
+def jsonl_report(findings: Iterable[Finding]) -> List[str]:
+    """One compact JSON object per finding (machine-readable)."""
+    return [json.dumps(f.to_dict(), sort_keys=True) for f in findings]

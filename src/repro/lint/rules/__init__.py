@@ -1,0 +1,1 @@
+"""Rule modules; importing them registers the rules (see core.RULES)."""

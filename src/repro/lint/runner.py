@@ -1,0 +1,57 @@
+"""File discovery and the lint driver loop."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional
+
+from repro.lint.core import Finding, LintModule, PathLike, Severity, select_rules
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted, stable order."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[PathLike], rule_ids: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run the selected rules over every file; pragmas filtered out.
+
+    Unparsable files surface as synthetic ``parse-error`` findings
+    rather than aborting the run, so one bad file cannot hide findings
+    in the rest of the tree.
+    """
+    rules = select_rules(rule_ids)
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            module = LintModule.from_path(file_path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.allowed(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -19,6 +19,7 @@ from repro.modem.serial import SerialPort
 from repro.ppp.frame import PPPFrame
 from repro.sim.engine import Simulator
 from repro.sim.process import spawn
+from repro.sim.rng import RandomStreams
 
 
 class ModemError(Exception):
@@ -64,7 +65,11 @@ class Modem3G:
         self.port = port if port is not None else SerialPort(sim)
         self.sim_pin = sim_pin
         self._pin_ok = sim_pin is None
-        self._rng = rng or _random.Random(0)
+        if rng is None:
+            # Derive the fallback from the seed-0 named-stream family so
+            # an un-wired modem still draws deterministically.
+            rng = RandomStreams(0).stream(f"modem.{self.port.name}")
+        self._rng = rng
         self.network = None
         self.registration = RegistrationStatus.NOT_REGISTERED
         self.apn: Optional[str] = None

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 import random as _random
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.net.addressing import AddressLike
 from repro.net.interface import PPPInterface
@@ -30,7 +30,7 @@ from repro.ppp.frame import PPP_IP, PPP_IPCP, PPP_LCP, ControlPacket, PPPFrame
 from repro.ppp.ipcp import IpcpClientFsm, IpcpServerFsm
 from repro.ppp.lcp import LcpFsm
 from repro.routing.table import Route
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.process import Signal
 
 _unit_numbers = itertools.count()
@@ -43,7 +43,7 @@ class PppError(Exception):
 class _TransportChannel:
     """Adapter making a pppd session look like an interface channel."""
 
-    def __init__(self, pppd: "Pppd"):
+    def __init__(self, pppd: "Pppd") -> None:
         self._pppd = pppd
 
     def send(self, packet: Packet) -> bool:
@@ -60,7 +60,7 @@ class Pppd:
         self,
         sim: Simulator,
         stack: IPStack,
-        transport,
+        transport: Any,
         role: str = "client",
         ifname: Optional[str] = None,
         local_address: Optional[AddressLike] = None,
@@ -74,7 +74,7 @@ class Pppd:
         echo_failure: int = 4,
         on_up: Optional[Callable[[PPPInterface], None]] = None,
         on_down: Optional[Callable[[str], None]] = None,
-    ):
+    ) -> None:
         if role not in ("client", "server"):
             raise PppError(f"unknown role {role!r}")
         if role == "server" and (local_address is None or assign_address is None):
@@ -88,7 +88,7 @@ class Pppd:
         self.echo_interval = echo_interval
         self.echo_failure = echo_failure
         self._echo_missed = 0
-        self._echo_timer = None
+        self._echo_timer: Optional[Event] = None
         self.on_up_cb = on_up
         self.on_down_cb = on_down
         self.iface: Optional[PPPInterface] = None
@@ -97,6 +97,7 @@ class Pppd:
         #: fired with a reason string when the session ends.
         self.down = Signal(sim, f"{self.ifname}.down")
         self.failed = Signal(sim, f"{self.ifname}.failed")
+        self.ipcp: Union[IpcpClientFsm, IpcpServerFsm]
         self.lcp = LcpFsm(
             sim,
             self._send_lcp,
@@ -183,12 +184,13 @@ class Pppd:
         self.ipcp.open()
 
     def _ipcp_up(self) -> None:
-        if self.role == "client":
-            local = self.ipcp.local_address
-            peer = self.ipcp.peer_address
+        ipcp = self.ipcp
+        if isinstance(ipcp, IpcpClientFsm):
+            local = ipcp.local_address
+            peer: Optional[Any] = ipcp.peer_address
         else:
-            local = self.ipcp.local_address
-            peer = self.ipcp.assigned_address
+            local = ipcp.local_address
+            peer = ipcp.assigned_address
         if local is None or peer is None:
             self._negotiation_failed("IPCP opened without addresses")
             return
@@ -231,6 +233,7 @@ class Pppd:
     # -- LCP echo keepalive ----------------------------------------------------
 
     def _arm_echo_timer(self) -> None:
+        assert self.echo_interval is not None  # guarded by callers
         self._echo_timer = self.sim.schedule(self.echo_interval, self._echo_tick)
 
     def _echo_tick(self) -> None:

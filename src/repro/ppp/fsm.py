@@ -7,7 +7,20 @@ Configure-Requests on the restart timer, honours Configure-Nak by
 adjusting its own requested options, and tears down with
 Terminate-Request/Ack.
 
-Subclasses provide the option policy:
+The automaton is **table-driven**: :data:`TRANSITIONS` declares one
+:class:`Transition` for every (state, event) pair of the
+:class:`FsmState` × :class:`FsmEvent` matrix — the RFC 1661 §4.1
+transition table restricted to the states a two-party dial-up visits.
+``repro lint``'s ``fsm-exhaustive`` rule statically extracts this
+table and proves it total (every pair handled, no undeclared target
+states, every state reachable), so an incomplete edit fails CI before
+any simulation runs.  :meth:`NegotiationFsm._dispatch` is the only
+consumer: it looks the pair up, runs the bound action method, and
+asserts the state landed inside the declared target set.
+
+Subclasses provide the option policy (and *only* the option policy —
+the ``fsm-policy-override`` lint rule rejects subclasses that shadow
+the machinery):
 
 - :meth:`initial_options` — what we ask for;
 - :meth:`check_peer_options` — ack or nak the peer's request;
@@ -17,7 +30,7 @@ Subclasses provide the option policy:
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
 
 from repro.ppp.frame import (
     CONF_ACK,
@@ -48,6 +61,172 @@ class FsmState(enum.Enum):
     CLOSING = "closing"
 
 
+class FsmEvent(enum.Enum):
+    """The event alphabet (RFC 1661 §4.1, condensed).
+
+    ``OPEN``/``CLOSE`` are the administrative events, ``ABORT`` is
+    lower-layer-down (carrier lost), ``TIMEOUT`` covers TO+/TO-, and
+    the ``RCV_*`` events are the receive events RCR/RCA/RCN/RTR/RTA
+    plus the echo and unknown-code receptions (RXR/RUC).
+    """
+
+    OPEN = "open"
+    CLOSE = "close"
+    ABORT = "abort"
+    TIMEOUT = "timeout"
+    RCV_CONF_REQ = "rcv-conf-req"
+    RCV_CONF_ACK = "rcv-conf-ack"
+    RCV_CONF_NAK = "rcv-conf-nak"
+    RCV_TERM_REQ = "rcv-term-req"
+    RCV_TERM_ACK = "rcv-term-ack"
+    RCV_ECHO_REQ = "rcv-echo-req"
+    RCV_ECHO_REP = "rcv-echo-rep"
+    RCV_UNKNOWN = "rcv-unknown"
+
+
+class Transition(NamedTuple):
+    """One cell of the event×state matrix.
+
+    ``action`` names the :class:`NegotiationFsm` method that handles
+    the event; ``targets`` is the closed set of states the automaton
+    may be in afterwards (asserted on every dispatch, proved total by
+    the ``fsm-exhaustive`` lint rule).
+    """
+
+    action: str
+    targets: Tuple[FsmState, ...]
+
+
+#: Where every automaton starts (read by the lint reachability check).
+INITIAL_STATE = FsmState.CLOSED
+
+#: The full RFC 1661 event×state matrix.  Every (state, event) pair
+#: must be present — ``repro lint`` fails the build otherwise — so a
+#: reader (or a reviewer) can audit the automaton without chasing
+#: ``if`` chains, exactly like the state table in RFC 1661 §4.1.
+TRANSITIONS: Dict[Tuple[FsmState, FsmEvent], Transition] = {
+    # -- CLOSED: nothing running; only Open or a peer's Terminate-Request
+    #    (politely acked) provoke any action.
+    (FsmState.CLOSED, FsmEvent.OPEN): Transition("_act_open", (FsmState.REQ_SENT,)),
+    (FsmState.CLOSED, FsmEvent.CLOSE): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.TIMEOUT): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_CONF_REQ): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_CONF_ACK): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_CONF_NAK): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_TERM_ACK): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_ECHO_REQ): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.CLOSED,)),
+    (FsmState.CLOSED, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.CLOSED,)),
+    # -- REQ_SENT: our Configure-Request is out, nothing acked yet.
+    (FsmState.REQ_SENT, FsmEvent.OPEN): Transition("_act_ignore", (FsmState.REQ_SENT,)),
+    (FsmState.REQ_SENT, FsmEvent.CLOSE): Transition("_act_close", (FsmState.CLOSING,)),
+    (FsmState.REQ_SENT, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.REQ_SENT, FsmEvent.TIMEOUT): Transition(
+        "_act_timeout_configure", (FsmState.REQ_SENT, FsmState.CLOSED)
+    ),
+    (FsmState.REQ_SENT, FsmEvent.RCV_CONF_REQ): Transition(
+        "_act_conf_req_req_sent", (FsmState.ACK_SENT, FsmState.REQ_SENT)
+    ),
+    (FsmState.REQ_SENT, FsmEvent.RCV_CONF_ACK): Transition(
+        "_act_conf_ack_req_sent", (FsmState.ACK_RCVD,)
+    ),
+    (FsmState.REQ_SENT, FsmEvent.RCV_CONF_NAK): Transition(
+        "_act_conf_nak_resend", (FsmState.REQ_SENT,)
+    ),
+    (FsmState.REQ_SENT, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.REQ_SENT, FsmEvent.RCV_TERM_ACK): Transition("_act_ignore", (FsmState.REQ_SENT,)),
+    (FsmState.REQ_SENT, FsmEvent.RCV_ECHO_REQ): Transition("_act_ignore", (FsmState.REQ_SENT,)),
+    (FsmState.REQ_SENT, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.REQ_SENT,)),
+    (FsmState.REQ_SENT, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.REQ_SENT,)),
+    # -- ACK_RCVD: the peer acked our request; waiting to ack theirs.
+    (FsmState.ACK_RCVD, FsmEvent.OPEN): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    (FsmState.ACK_RCVD, FsmEvent.CLOSE): Transition("_act_close", (FsmState.CLOSING,)),
+    (FsmState.ACK_RCVD, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.ACK_RCVD, FsmEvent.TIMEOUT): Transition(
+        "_act_timeout_configure", (FsmState.ACK_RCVD, FsmState.CLOSED)
+    ),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_CONF_REQ): Transition(
+        "_act_conf_req_ack_rcvd", (FsmState.OPENED, FsmState.ACK_RCVD)
+    ),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_CONF_ACK): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_CONF_NAK): Transition(
+        "_act_conf_nak_back_to_req_sent", (FsmState.REQ_SENT,)
+    ),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_TERM_ACK): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_ECHO_REQ): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    (FsmState.ACK_RCVD, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.ACK_RCVD,)),
+    # -- ACK_SENT: we acked the peer's request; ours is still pending.
+    (FsmState.ACK_SENT, FsmEvent.OPEN): Transition("_act_ignore", (FsmState.ACK_SENT,)),
+    (FsmState.ACK_SENT, FsmEvent.CLOSE): Transition("_act_close", (FsmState.CLOSING,)),
+    (FsmState.ACK_SENT, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.ACK_SENT, FsmEvent.TIMEOUT): Transition(
+        "_act_timeout_configure", (FsmState.ACK_SENT, FsmState.CLOSED)
+    ),
+    (FsmState.ACK_SENT, FsmEvent.RCV_CONF_REQ): Transition(
+        "_act_conf_req_ack_sent", (FsmState.ACK_SENT, FsmState.REQ_SENT)
+    ),
+    (FsmState.ACK_SENT, FsmEvent.RCV_CONF_ACK): Transition(
+        "_act_conf_ack_ack_sent", (FsmState.OPENED,)
+    ),
+    (FsmState.ACK_SENT, FsmEvent.RCV_CONF_NAK): Transition(
+        "_act_conf_nak_resend", (FsmState.ACK_SENT,)
+    ),
+    (FsmState.ACK_SENT, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.ACK_SENT, FsmEvent.RCV_TERM_ACK): Transition("_act_ignore", (FsmState.ACK_SENT,)),
+    (FsmState.ACK_SENT, FsmEvent.RCV_ECHO_REQ): Transition("_act_ignore", (FsmState.ACK_SENT,)),
+    (FsmState.ACK_SENT, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.ACK_SENT,)),
+    (FsmState.ACK_SENT, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.ACK_SENT,)),
+    # -- OPENED: the data phase.  A fresh Configure-Request from the
+    #    peer means renegotiation; echoes are answered here only.
+    (FsmState.OPENED, FsmEvent.OPEN): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.CLOSE): Transition("_act_close", (FsmState.CLOSING,)),
+    (FsmState.OPENED, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.OPENED, FsmEvent.TIMEOUT): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_CONF_REQ): Transition(
+        "_act_conf_req_opened", (FsmState.ACK_SENT, FsmState.OPENED)
+    ),
+    (FsmState.OPENED, FsmEvent.RCV_CONF_ACK): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_CONF_NAK): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.OPENED, FsmEvent.RCV_TERM_ACK): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_ECHO_REQ): Transition("_act_echo_reply", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.OPENED,)),
+    (FsmState.OPENED, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.OPENED,)),
+    # -- CLOSING: our Terminate-Request is out; waiting for the ack.
+    (FsmState.CLOSING, FsmEvent.OPEN): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.CLOSE): Transition("_act_close", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.ABORT): Transition("_act_abort", (FsmState.CLOSED,)),
+    (FsmState.CLOSING, FsmEvent.TIMEOUT): Transition(
+        "_act_timeout_terminate", (FsmState.CLOSING, FsmState.CLOSED)
+    ),
+    (FsmState.CLOSING, FsmEvent.RCV_CONF_REQ): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.RCV_CONF_ACK): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.RCV_CONF_NAK): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.RCV_TERM_REQ): Transition("_act_term_req", (FsmState.CLOSED,)),
+    (FsmState.CLOSING, FsmEvent.RCV_TERM_ACK): Transition("_act_term_ack", (FsmState.CLOSED,)),
+    (FsmState.CLOSING, FsmEvent.RCV_ECHO_REQ): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.RCV_ECHO_REP): Transition("_act_ignore", (FsmState.CLOSING,)),
+    (FsmState.CLOSING, FsmEvent.RCV_UNKNOWN): Transition("_act_ignore", (FsmState.CLOSING,)),
+}
+
+#: Packet code → receive event.  Codes outside the map (Configure-
+#: Reject, Code-Reject, ...) classify as RCV_UNKNOWN and are ignored
+#: in every state, which is the pre-table behaviour.
+_CODE_EVENTS: Dict[int, FsmEvent] = {
+    CONF_REQ: FsmEvent.RCV_CONF_REQ,
+    CONF_ACK: FsmEvent.RCV_CONF_ACK,
+    CONF_NAK: FsmEvent.RCV_CONF_NAK,
+    TERM_REQ: FsmEvent.RCV_TERM_REQ,
+    TERM_ACK: FsmEvent.RCV_TERM_ACK,
+    ECHO_REQ: FsmEvent.RCV_ECHO_REQ,
+    ECHO_REP: FsmEvent.RCV_ECHO_REP,
+}
+
+
 class NegotiationFsm:
     """One side of an LCP/IPCP negotiation."""
 
@@ -63,7 +242,7 @@ class NegotiationFsm:
         on_fail: Optional[Callable[[str], None]] = None,
         restart_interval: float = RESTART_INTERVAL,
         max_configure: int = MAX_CONFIGURE,
-    ):
+    ) -> None:
         self.sim = sim
         self.send_packet = send_packet
         self.on_up = on_up
@@ -71,7 +250,7 @@ class NegotiationFsm:
         self.on_fail = on_fail
         self.restart_interval = restart_interval
         self.max_configure = max_configure
-        self.state = FsmState.CLOSED
+        self.state = INITIAL_STATE
         self.options: Dict[str, Any] = {}
         #: the peer's options as acknowledged by us.
         self.peer_options: Dict[str, Any] = {}
@@ -80,11 +259,11 @@ class NegotiationFsm:
         self._restart_counter = 0
         self._terminate_counter = 0
         self._timer: Optional[Event] = None
-        self._nego_span = None
+        self._nego_span: Optional[Any] = None
 
     # -- observability -------------------------------------------------
 
-    def _set_state(self, new_state: "FsmState", reason: str = "") -> None:
+    def _set_state(self, new_state: FsmState, reason: str = "") -> None:
         """Move the automaton, emitting the transition on the trace bus."""
         old_state = self.state
         self.state = new_state
@@ -147,18 +326,55 @@ class NegotiationFsm:
 
     def open(self) -> None:
         """Start negotiating (administrative Open + link Up)."""
-        if self.state != FsmState.CLOSED:
-            return
+        self._dispatch(FsmEvent.OPEN)
+
+    def close(self, reason: str = "administrative close") -> None:
+        """Tear the protocol down with Terminate-Request."""
+        self._dispatch(FsmEvent.CLOSE, reason)
+
+    def abort(self, reason: str = "lower layer down") -> None:
+        """Hard stop without Terminate exchange (carrier lost)."""
+        self._dispatch(FsmEvent.ABORT, reason)
+
+    # -- packet input -----------------------------------------------------
+
+    def receive(self, packet: ControlPacket) -> None:
+        """Feed one received LCP/IPCP packet into the automaton."""
+        event = _CODE_EVENTS.get(packet.code, FsmEvent.RCV_UNKNOWN)
+        if event in (FsmEvent.RCV_CONF_ACK, FsmEvent.RCV_CONF_NAK):
+            if packet.identifier != self._current_id:
+                return  # stale ack/nak for a request we no longer own
+        self._dispatch(event, packet)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch(self, event: FsmEvent, *args: Any) -> None:
+        """Run the declared action for (state, event) and check the landing.
+
+        The assert is the runtime mirror of the static
+        ``fsm-exhaustive`` check: an action may only leave the
+        automaton in a state the table declared for its cell.
+        """
+        transition = TRANSITIONS[(self.state, event)]
+        getattr(self, transition.action)(*args)
+        assert self.state in transition.targets, (
+            f"{self.protocol_name}: action {transition.action} left state "
+            f"{self.state} not in declared {transition.targets}"
+        )
+
+    # -- actions ---------------------------------------------------------
+
+    def _act_ignore(self, *_args: Any) -> None:
+        """The event is a no-op in this state."""
+
+    def _act_open(self) -> None:
         self.options = self.initial_options()
         self._restart_counter = self.max_configure
         self._begin_nego_span()
         self._send_configure_request()
         self._set_state(FsmState.REQ_SENT, "open")
 
-    def close(self, reason: str = "administrative close") -> None:
-        """Tear the protocol down with Terminate-Request."""
-        if self.state == FsmState.CLOSED:
-            return
+    def _act_close(self, reason: str) -> None:
         was_open = self.state == FsmState.OPENED
         self._set_state(FsmState.CLOSING, reason)
         self._end_nego_span("error", reason)
@@ -167,8 +383,7 @@ class NegotiationFsm:
         if was_open and self.on_down is not None:
             self.on_down(reason)
 
-    def abort(self, reason: str = "lower layer down") -> None:
-        """Hard stop without Terminate exchange (carrier lost)."""
+    def _act_abort(self, reason: str) -> None:
         was_open = self.state == FsmState.OPENED
         self._cancel_timer()
         self._set_state(FsmState.CLOSED, reason)
@@ -176,71 +391,63 @@ class NegotiationFsm:
         if was_open and self.on_down is not None:
             self.on_down(reason)
 
-    # -- packet input -----------------------------------------------------
+    def _ack_peer(self, packet: ControlPacket) -> None:
+        """Accept the peer's Configure-Request: record and echo it back."""
+        self.peer_options = dict(packet.options)
+        self.send_packet(ControlPacket(CONF_ACK, packet.identifier, packet.options))
 
-    def receive(self, packet: ControlPacket) -> None:
-        """Feed one received LCP/IPCP packet into the automaton."""
-        if self.state == FsmState.CLOSED and packet.code != TERM_REQ:
-            return
-        if packet.code == CONF_REQ:
-            self._rcv_configure_request(packet)
-        elif packet.code == CONF_ACK:
-            self._rcv_configure_ack(packet)
-        elif packet.code == CONF_NAK:
-            self._rcv_configure_nak(packet)
-        elif packet.code == TERM_REQ:
-            self._rcv_terminate_request(packet)
-        elif packet.code == TERM_ACK:
-            self._rcv_terminate_ack(packet)
-        elif packet.code == ECHO_REQ:
-            if self.state == FsmState.OPENED:
-                self.send_packet(
-                    ControlPacket(ECHO_REP, packet.identifier, packet.options)
-                )
-        # Echo-Reply and unknown codes are ignored.
-
-    # -- state transitions ---------------------------------------------
-
-    def _rcv_configure_request(self, packet: ControlPacket) -> None:
-        if self.state == FsmState.CLOSING:
-            return
+    def _act_conf_req_req_sent(self, packet: ControlPacket) -> None:
         verdict, options = self.check_peer_options(dict(packet.options))
         if verdict == CONF_ACK:
-            self.peer_options = dict(packet.options)
-            self.send_packet(ControlPacket(CONF_ACK, packet.identifier, packet.options))
-            if self.state == FsmState.ACK_RCVD:
-                self._enter_opened()
-            elif self.state == FsmState.OPENED:
-                # Renegotiation: drop back and re-request our side.
-                self._restart_counter = self.max_configure
-                self._begin_nego_span()
-                self._send_configure_request()
-                self._set_state(FsmState.ACK_SENT, "renegotiation")
-            else:
-                self._set_state(FsmState.ACK_SENT, "peer request acked")
+            self._ack_peer(packet)
+            self._set_state(FsmState.ACK_SENT, "peer request acked")
         else:
             self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
-            if self.state == FsmState.ACK_SENT:
-                self._set_state(FsmState.REQ_SENT, "peer request naked")
 
-    def _rcv_configure_ack(self, packet: ControlPacket) -> None:
-        if packet.identifier != self._current_id:
-            return  # stale ack
-        if self.state == FsmState.REQ_SENT:
-            self._set_state(FsmState.ACK_RCVD, "our request acked")
-        elif self.state == FsmState.ACK_SENT:
+    def _act_conf_req_ack_sent(self, packet: ControlPacket) -> None:
+        verdict, options = self.check_peer_options(dict(packet.options))
+        if verdict == CONF_ACK:
+            self._ack_peer(packet)
+        else:
+            self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
+            self._set_state(FsmState.REQ_SENT, "peer request naked")
+
+    def _act_conf_req_ack_rcvd(self, packet: ControlPacket) -> None:
+        verdict, options = self.check_peer_options(dict(packet.options))
+        if verdict == CONF_ACK:
+            self._ack_peer(packet)
             self._enter_opened()
+        else:
+            self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
 
-    def _rcv_configure_nak(self, packet: ControlPacket) -> None:
-        if packet.identifier != self._current_id:
-            return
-        if self.state in (FsmState.REQ_SENT, FsmState.ACK_RCVD, FsmState.ACK_SENT):
-            self.on_nak(dict(packet.options))
+    def _act_conf_req_opened(self, packet: ControlPacket) -> None:
+        verdict, options = self.check_peer_options(dict(packet.options))
+        if verdict == CONF_ACK:
+            # Renegotiation: drop back and re-request our side.
+            self._ack_peer(packet)
+            self._restart_counter = self.max_configure
+            self._begin_nego_span()
             self._send_configure_request()
-            if self.state == FsmState.ACK_RCVD:
-                self._set_state(FsmState.REQ_SENT, "our request naked")
+            self._set_state(FsmState.ACK_SENT, "renegotiation")
+        else:
+            self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))
 
-    def _rcv_terminate_request(self, packet: ControlPacket) -> None:
+    def _act_conf_ack_req_sent(self, packet: ControlPacket) -> None:
+        self._set_state(FsmState.ACK_RCVD, "our request acked")
+
+    def _act_conf_ack_ack_sent(self, packet: ControlPacket) -> None:
+        self._enter_opened()
+
+    def _act_conf_nak_resend(self, packet: ControlPacket) -> None:
+        self.on_nak(dict(packet.options))
+        self._send_configure_request()
+
+    def _act_conf_nak_back_to_req_sent(self, packet: ControlPacket) -> None:
+        self.on_nak(dict(packet.options))
+        self._send_configure_request()
+        self._set_state(FsmState.REQ_SENT, "our request naked")
+
+    def _act_term_req(self, packet: ControlPacket) -> None:
         self.send_packet(ControlPacket(TERM_ACK, packet.identifier))
         was_open = self.state == FsmState.OPENED
         self._cancel_timer()
@@ -249,10 +456,40 @@ class NegotiationFsm:
         if was_open and self.on_down is not None:
             self.on_down("peer terminated")
 
-    def _rcv_terminate_ack(self, packet: ControlPacket) -> None:
-        if self.state == FsmState.CLOSING:
-            self._cancel_timer()
-            self._set_state(FsmState.CLOSED, "terminate acked")
+    def _act_term_ack(self, packet: ControlPacket) -> None:
+        self._cancel_timer()
+        self._set_state(FsmState.CLOSED, "terminate acked")
+
+    def _act_echo_reply(self, packet: ControlPacket) -> None:
+        self.send_packet(ControlPacket(ECHO_REP, packet.identifier, packet.options))
+
+    def _act_timeout_configure(self) -> None:
+        self._restart_counter -= 1
+        if self._restart_counter <= 0:
+            self._set_state(FsmState.CLOSED, "negotiation timed out")
+            self._end_nego_span("error", "negotiation timed out")
+            trace = self.sim.trace
+            if trace is not None:
+                trace.error(
+                    f"ppp.{self.protocol_name.lower()}.timeout",
+                    protocol=self.protocol_name,
+                )
+            if self.on_fail is not None:
+                self.on_fail(f"{self.protocol_name}: negotiation timed out")
+            return
+        self._send_configure_request()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(
+                f"ppp.{self.protocol_name.lower()}.retransmits"
+            ).inc()
+
+    def _act_timeout_terminate(self) -> None:
+        self._terminate_counter -= 1
+        if self._terminate_counter <= 0:
+            self._set_state(FsmState.CLOSED, "terminate retries exhausted")
+            return
+        self._send_terminate_request()
 
     def _enter_opened(self) -> None:
         self._cancel_timer()
@@ -285,32 +522,7 @@ class NegotiationFsm:
 
     def _on_timeout(self) -> None:
         self._timer = None
-        if self.state in (FsmState.REQ_SENT, FsmState.ACK_RCVD, FsmState.ACK_SENT):
-            self._restart_counter -= 1
-            if self._restart_counter <= 0:
-                self._set_state(FsmState.CLOSED, "negotiation timed out")
-                self._end_nego_span("error", "negotiation timed out")
-                trace = self.sim.trace
-                if trace is not None:
-                    trace.error(
-                        f"ppp.{self.protocol_name.lower()}.timeout",
-                        protocol=self.protocol_name,
-                    )
-                if self.on_fail is not None:
-                    self.on_fail(f"{self.protocol_name}: negotiation timed out")
-                return
-            self._send_configure_request()
-            metrics = self.sim.metrics
-            if metrics is not None:
-                metrics.counter(
-                    f"ppp.{self.protocol_name.lower()}.retransmits"
-                ).inc()
-        elif self.state == FsmState.CLOSING:
-            self._terminate_counter -= 1
-            if self._terminate_counter <= 0:
-                self._set_state(FsmState.CLOSED, "terminate retries exhausted")
-                return
-            self._send_terminate_request()
+        self._dispatch(FsmEvent.TIMEOUT)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{self.protocol_name}-fsm {self.state.value}>"

@@ -26,7 +26,7 @@ class IpcpClientFsm(NegotiationFsm):
 
     protocol_name = "IPCP"
 
-    def __init__(self, *args, request_dns: bool = False, **kwargs):
+    def __init__(self, *args: Any, request_dns: bool = False, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.request_dns = request_dns
 
@@ -76,7 +76,7 @@ class IpcpClientFsm(NegotiationFsm):
         reads back as None.
         """
 
-        def parse(value):
+        def parse(value: Any) -> Optional[IPv4Address]:
             if not value:
                 return None
             parsed = ip(value)
@@ -92,13 +92,13 @@ class IpcpServerFsm(NegotiationFsm):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         local_address: AddressLike,
         assign_address: AddressLike,
         dns1: Optional[AddressLike] = None,
         dns2: Optional[AddressLike] = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._local = ip(local_address)
         self._assign = ip(assign_address)

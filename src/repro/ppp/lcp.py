@@ -22,8 +22,8 @@ class LcpFsm(NegotiationFsm):
 
     protocol_name = "LCP"
 
-    def __init__(self, *args, mru: int = DEFAULT_MRU,
-                 rng: Optional[_random.Random] = None, **kwargs):
+    def __init__(self, *args: Any, mru: int = DEFAULT_MRU,
+                 rng: Optional[_random.Random] = None, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.mru = mru
         self._rng = rng

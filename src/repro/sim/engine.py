@@ -49,7 +49,9 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -90,9 +92,9 @@ class Simulator:
         self._stopped = False
         #: optional :class:`~repro.obs.TraceBus`; components check this
         #: before emitting, so ``None`` keeps the stack uninstrumented.
-        self.trace = None
+        self.trace: Optional[Any] = None
         #: optional :class:`~repro.obs.MetricsRegistry` (same contract).
-        self.metrics = None
+        self.metrics: Optional[Any] = None
         #: optional ``callback(event, wall_seconds)`` run after each dispatch.
         self.on_dispatch: Optional[Callable[[Event, float], None]] = None
 

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 class TimeSeries:
     """An append-only sequence of (time, value) samples."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[float] = []
         self.values: List[float] = []
@@ -141,7 +141,7 @@ class Monitor:
     analysis layer later pulls the series out by name.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._series: dict[str, TimeSeries] = {}
 

@@ -35,7 +35,7 @@ class Interrupt(Exception):
     passed, typically a short reason string.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -49,7 +49,7 @@ class Signal:
     wakes the waiters registered at that moment.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self._sim = sim
         self.name = name
         self._waiters: List[Callable[[Any], None]] = []
@@ -82,7 +82,7 @@ class Signal:
 class StoreGet:
     """Handle returned by :meth:`Store.get`; yielded by a process."""
 
-    def __init__(self, store: "Store"):
+    def __init__(self, store: "Store") -> None:
         self.store = store
 
 
@@ -94,7 +94,7 @@ class Store:
     of the yield.  Used to model vsys FIFO pipes and serial lines.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self._sim = sim
         self.name = name
         self._items: Deque[Any] = deque()
@@ -141,7 +141,7 @@ class Process:
     via a zero-delay event, so construction never re-enters user code).
     """
 
-    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
         self._sim = sim
         self._gen = generator
         self.name = name or getattr(generator, "__name__", "process")

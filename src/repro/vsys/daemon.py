@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import inspect
 import shlex
-from typing import Callable, Dict, List, NamedTuple, Set
+from typing import Any, Callable, Dict, Generator, List, NamedTuple, Sequence, Set
 
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
@@ -36,7 +36,7 @@ class VsysResult(NamedTuple):
 #: function returning ``(code, lines)`` or a generator (a simulation
 #: process body) returning the same — dialing a modem takes simulated
 #: time, so the umts back-end is a generator.
-Handler = Callable[[str, List[str]], object]
+Handler = Callable[[str, List[str]], Any]
 
 _EXIT_SENTINEL = "__vsys_exit__"
 
@@ -64,7 +64,7 @@ class VsysConnection:
             raise VsysError(f"connection to {self.script!r} is busy")
         line = " ".join(shlex.quote(arg) for arg in argv)
 
-        def frontend():
+        def frontend() -> Generator[Any, Any, VsysResult]:
             self._busy = True
             try:
                 self.pipe.to_backend.put(line)
@@ -106,7 +106,7 @@ class VsysDaemon:
         self.connections_opened = 0
         self.calls_denied = 0
 
-    def register(self, name: str, handler: Handler, acl: List[str] = ()) -> None:
+    def register(self, name: str, handler: Handler, acl: Sequence[str] = ()) -> None:
         """Install a back-end script with an initial ACL."""
         if name in self._scripts:
             raise VsysError(f"script {name!r} already registered")
@@ -163,7 +163,9 @@ class VsysDaemon:
         if script not in self._scripts:
             raise VsysError(f"no vsys script {script!r}")
 
-    def _backend_loop(self, pipe: FifoPair, slice_name: str, script: str, handler: Handler):
+    def _backend_loop(
+        self, pipe: FifoPair, slice_name: str, script: str, handler: Handler
+    ) -> Generator[Any, Any, None]:
         """Root-context process servicing one FIFO pair until EOF."""
         while True:
             line = yield pipe.to_backend.get()

@@ -1,0 +1,7 @@
+"""Fixture: direct seeded-RNG construction outside sim/rng.py."""
+
+import random as _random
+
+
+def seeded() -> _random.Random:
+    return _random.Random(42)  # line 7: direct-rng

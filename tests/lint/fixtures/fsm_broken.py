@@ -1,0 +1,36 @@
+"""Fixture: an FSM table with three defects the rule must catch.
+
+- the (BUSY, STOP) entry is missing (coverage hole);
+- (IDLE, GO) targets the undeclared member ``State.GONE``;
+- ``State.ORPHAN`` is declared but no transition reaches it.
+"""
+
+import enum
+from typing import Dict, NamedTuple, Tuple
+
+
+class State(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    ORPHAN = "orphan"
+
+
+class Event(enum.Enum):
+    GO = "go"
+    STOP = "stop"
+
+
+class Transition(NamedTuple):
+    action: str
+    targets: Tuple[State, ...]
+
+
+INITIAL_STATE = State.IDLE
+
+TRANSITIONS: Dict[Tuple[State, Event], Transition] = {
+    (State.IDLE, Event.GO): Transition("start", (State.GONE,)),  # undeclared target
+    (State.IDLE, Event.STOP): Transition("ignore", (State.IDLE,)),
+    (State.BUSY, Event.GO): Transition("ignore", (State.BUSY,)),
+    (State.ORPHAN, Event.GO): Transition("ignore", (State.ORPHAN,)),
+    (State.ORPHAN, Event.STOP): Transition("ignore", (State.ORPHAN,)),
+}

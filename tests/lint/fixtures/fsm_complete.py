@@ -1,0 +1,29 @@
+"""Fixture: a complete miniature FSM table (must lint clean)."""
+
+import enum
+from typing import Dict, NamedTuple, Tuple
+
+
+class State(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+class Event(enum.Enum):
+    GO = "go"
+    STOP = "stop"
+
+
+class Transition(NamedTuple):
+    action: str
+    targets: Tuple[State, ...]
+
+
+INITIAL_STATE = State.IDLE
+
+TRANSITIONS: Dict[Tuple[State, Event], Transition] = {
+    (State.IDLE, Event.GO): Transition("start", (State.BUSY,)),
+    (State.IDLE, Event.STOP): Transition("ignore", (State.IDLE,)),
+    (State.BUSY, Event.GO): Transition("ignore", (State.BUSY,)),
+    (State.BUSY, Event.STOP): Transition("finish", (State.IDLE,)),
+}

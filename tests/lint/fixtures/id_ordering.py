@@ -1,0 +1,11 @@
+"""Fixture: ordering by allocation address."""
+
+from typing import Any, List
+
+
+def by_identity(items: List[Any]) -> List[Any]:
+    return sorted(items, key=id)  # line 7: id-ordering (key=id)
+
+
+def identity_value(obj: Any) -> int:
+    return id(obj)  # line 11: id-ordering (id call)

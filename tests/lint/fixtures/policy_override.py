@@ -1,0 +1,24 @@
+"""Fixture: a protocol subclass reaching into the FSM machinery."""
+
+from typing import Any, Dict
+
+
+class BaseFsm:
+    def receive(self, packet: Any) -> None:
+        pass
+
+    def initial_options(self) -> Dict[str, Any]:
+        return {}
+
+
+class GoodProtocol(BaseFsm):
+    def initial_options(self) -> Dict[str, Any]:  # allowed: policy hook
+        return {"mru": 1500}
+
+
+class BadProtocol(BaseFsm):
+    def receive(self, packet: Any) -> None:  # line 20: fsm-policy-override
+        pass
+
+    def _act_open(self) -> None:  # line 23: fsm-policy-override
+        pass

@@ -1,0 +1,20 @@
+"""Fixture: hash-order-dependent set iteration."""
+
+from typing import List
+
+
+def loop() -> None:
+    for item in {1, 2, 3}:  # line 7: set-iteration
+        print(item)
+
+
+def comprehension() -> List[int]:
+    return [v for v in set([1, 2])]  # line 12: set-iteration
+
+
+def materialize() -> List[int]:
+    return list({4, 5})  # line 16: set-iteration
+
+
+def ordered() -> List[int]:
+    return sorted({4, 5})  # allowed: sorted() output is deterministic

@@ -1,0 +1,15 @@
+"""Fixture: module-level and unseeded randomness."""
+
+import random
+
+
+def module_level() -> float:
+    return random.random()  # line 7: unseeded-random
+
+
+def no_seed() -> random.Random:
+    return random.Random()  # line 11: unseeded-random
+
+
+def os_entropy() -> random.Random:
+    return random.SystemRandom()  # line 15: unseeded-random

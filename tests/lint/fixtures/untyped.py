@@ -1,0 +1,21 @@
+"""Fixture: annotation gaps the untyped-def rule must flag."""
+
+
+def missing_param(x) -> int:  # line 4: unannotated parameter x
+    return x
+
+
+def missing_return(x: int):  # line 8: no return annotation
+    return x
+
+
+class Widget:
+    def __init__(self, size: int):  # allowed: mypy's __init__ exception
+        self.size = size
+
+    def method(self, other) -> int:  # line 16: unannotated parameter other
+        return self.size + other
+
+
+def fully_typed(x: int, *args: int, **kwargs: int) -> int:
+    return x + sum(args) + sum(kwargs.values())

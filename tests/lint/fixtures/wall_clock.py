@@ -1,0 +1,25 @@
+"""Fixture: wall-clock reads (every call below must be flagged)."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # line 9: wall-clock
+
+
+def today() -> object:
+    return datetime.now()  # line 13: wall-clock
+
+
+def entropy() -> bytes:
+    return os.urandom(8)  # line 17: wall-clock
+
+
+def measured() -> float:
+    return time.perf_counter()  # allowed: measurement, not simulation input
+
+
+def excused() -> float:
+    return time.time()  # lint: allow(wall-clock) -- fixture pragma check

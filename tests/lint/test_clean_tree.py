@@ -1,0 +1,22 @@
+"""The tree itself must satisfy its own linter (all rules, zero findings)."""
+
+from pathlib import Path
+
+from repro.lint import human_report, lint_paths
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(human_report(findings))
+
+
+def test_linter_actually_scanned_the_tree():
+    # Guard against a silent no-op: the discovery pass must see the
+    # package's modules, including the strict packages and the linter.
+    from repro.lint import iter_python_files
+
+    files = {path.name for path in iter_python_files([SRC])}
+    for expected in ("engine.py", "fsm.py", "daemon.py", "scenarios.py", "core.py"):
+        assert expected in files

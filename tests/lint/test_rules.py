@@ -1,0 +1,151 @@
+"""Per-rule fixture tests: each fixture trips exactly its own rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(fixture: str, rule: str):
+    return lint_paths([FIXTURES / fixture], rule_ids=[rule])
+
+
+def locations(findings):
+    return [(f.line, f.rule) for f in findings]
+
+
+class TestWallClock:
+    def test_flags_every_ambient_read(self):
+        findings = findings_for("wall_clock.py", "wall-clock")
+        assert locations(findings) == [(9, "wall-clock"), (13, "wall-clock"), (17, "wall-clock")]
+        assert all(f.path.endswith("wall_clock.py") for f in findings)
+        assert "time.time()" in findings[0].message
+        assert "datetime.datetime.now()" in findings[1].message
+        assert "os.urandom()" in findings[2].message
+
+    def test_perf_counter_and_pragma_are_exempt(self):
+        lines = [f.line for f in findings_for("wall_clock.py", "wall-clock")]
+        assert 21 not in lines  # perf_counter is measurement, not input
+        assert 25 not in lines  # suppressed by # lint: allow(wall-clock)
+
+
+class TestUnseededRandom:
+    def test_flags_module_level_and_unseeded(self):
+        findings = findings_for("unseeded_random.py", "unseeded-random")
+        assert locations(findings) == [
+            (7, "unseeded-random"),
+            (11, "unseeded-random"),
+            (15, "unseeded-random"),
+        ]
+        assert "module-level RNG" in findings[0].message
+        assert "without a seed" in findings[1].message
+        assert "SystemRandom" in findings[2].message
+
+
+class TestDirectRng:
+    def test_flags_seeded_construction(self):
+        findings = findings_for("direct_rng.py", "direct-rng")
+        assert locations(findings) == [(7, "direct-rng")]
+        assert "RandomStreams.stream" in findings[0].message
+
+    def test_rng_home_is_exempt(self):
+        rng_home = Path(__file__).parents[2] / "src" / "repro" / "sim" / "rng.py"
+        assert lint_paths([rng_home], rule_ids=["direct-rng", "unseeded-random"]) == []
+
+
+class TestSetIteration:
+    def test_flags_for_comprehension_and_materialization(self):
+        findings = findings_for("set_iteration.py", "set-iteration")
+        assert locations(findings) == [
+            (7, "set-iteration"),
+            (12, "set-iteration"),
+            (16, "set-iteration"),
+        ]
+
+    def test_sorted_copy_is_exempt(self):
+        assert 20 not in [f.line for f in findings_for("set_iteration.py", "set-iteration")]
+
+
+class TestIdOrdering:
+    def test_flags_key_id_and_id_calls(self):
+        findings = findings_for("id_ordering.py", "id-ordering")
+        assert [(f.line, "key=id" in f.message) for f in findings] == [
+            (7, True),
+            (11, False),
+        ]
+
+
+class TestUntypedDef:
+    def test_flags_annotation_gaps(self):
+        findings = findings_for("untyped.py", "untyped-def")
+        messages = {(f.line, f.message) for f in findings}
+        assert (4, "def missing_param has unannotated parameters: x") in messages
+        assert (8, "def missing_return has no return annotation") in messages
+        assert (16, "def method has unannotated parameters: other") in messages
+
+    def test_init_exception_and_full_annotations_pass(self):
+        lines = [f.line for f in findings_for("untyped.py", "untyped-def")]
+        assert 13 not in lines  # __init__ with an annotated param
+        assert 20 not in lines  # fully annotated def
+
+
+class TestFsmExhaustive:
+    def test_complete_table_is_clean(self):
+        assert findings_for("fsm_complete.py", "fsm-exhaustive") == []
+
+    def test_broken_table_defects(self):
+        findings = findings_for("fsm_broken.py", "fsm-exhaustive")
+        messages = [f.message for f in findings]
+        assert "missing transition for (State.BUSY, Event.STOP)" in messages
+        assert "undeclared target state State.GONE" in messages
+        assert any("State.BUSY is unreachable" in m for m in messages)
+        assert any("State.ORPHAN is unreachable" in m for m in messages)
+
+
+class TestFsmPolicyOverride:
+    def test_flags_machinery_overrides_only(self):
+        findings = findings_for("policy_override.py", "fsm-policy-override")
+        assert locations(findings) == [
+            (20, "fsm-policy-override"),
+            (23, "fsm-policy-override"),
+        ]
+        assert "'receive'" in findings[0].message
+        assert "'_act_open'" in findings[1].message
+
+
+class TestRealTransitionTable:
+    """The acceptance proof: deleting any one entry from the shipped
+    RFC 1661 table makes fsm-exhaustive fail, so the rule genuinely
+    covers the full matrix LCP and IPCP inherit."""
+
+    FSM_PATH = Path(__file__).parents[2] / "src" / "repro" / "ppp" / "fsm.py"
+
+    def test_shipped_table_is_complete(self):
+        assert lint_paths([self.FSM_PATH], rule_ids=["fsm-exhaustive"]) == []
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            '    (FsmState.OPENED, FsmEvent.RCV_ECHO_REQ): '
+            'Transition("_act_echo_reply", (FsmState.OPENED,)),\n',
+            '    (FsmState.CLOSING, FsmEvent.RCV_TERM_ACK): '
+            'Transition("_act_term_ack", (FsmState.CLOSED,)),\n',
+        ],
+    )
+    def test_deleting_one_transition_fails(self, entry, tmp_path):
+        source = self.FSM_PATH.read_text()
+        assert entry in source, "table entry moved; update the test"
+        mutated = tmp_path / "fsm_mutated.py"
+        mutated.write_text(source.replace(entry, ""))
+        findings = lint_paths([mutated], rule_ids=["fsm-exhaustive"])
+        assert len(findings) == 1
+        assert "missing transition for" in findings[0].message
+
+    def test_lcp_ipcp_only_override_policy(self):
+        ppp = Path(__file__).parents[2] / "src" / "repro" / "ppp"
+        assert lint_paths(
+            [ppp / "lcp.py", ppp / "ipcp.py"], rule_ids=["fsm-policy-override"]
+        ) == []

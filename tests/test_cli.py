@@ -133,3 +133,66 @@ def test_bench_output_dir_writes_fresh_results(tmp_path):
     assert main(["bench", "--scenario", "hdlc_encode", "--repeats", "1",
                  "--warmup", "0", "--output-dir", str(out_dir)]) == 0
     assert (out_dir / "BENCH_hdlc_encode.json").exists()
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("wall-clock", "unseeded-random", "direct-rng", "set-iteration",
+                 "id-ordering", "fsm-exhaustive", "fsm-policy-override",
+                 "untyped-def"):
+        assert rule in out
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    # Default target is the installed repro package; it must be clean.
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "lint: 0 finding(s)" in out
+
+
+def test_lint_findings_exit_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\n\ndef f() -> float:\n    return time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out
+    assert "lint: 1 finding(s)" in out
+
+
+def test_lint_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--rule", "warp-drive"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+
+
+def test_lint_rule_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\n\ndef f() -> float:\n    return time.time()\n")
+    # Filtering to an unrelated rule must not report the wall-clock read.
+    assert main(["lint", "--rule", "id-ordering", str(bad)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--rule", "wall-clock", str(bad)]) == 1
+
+
+def test_lint_jsonl_export(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n\n\ndef f() -> float:\n    return random.random()\n")
+    report = tmp_path / "lint.jsonl"
+    assert main(["lint", "--jsonl", str(report), str(bad)]) == 1
+    records = [json.loads(line) for line in report.read_text().splitlines()]
+    assert len(records) == 1
+    assert records[0]["rule"] == "unseeded-random"
+    assert records[0]["line"] == 5
+    assert records[0]["severity"] == "error"
+
+
+def test_lint_jsonl_stdout(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n\n\ndef f() -> float:\n    return random.random()\n")
+    # --jsonl without a path streams to stdout (the option must come
+    # after the positional so argparse doesn't swallow it as the path).
+    assert main(["lint", str(bad), "--jsonl"]) == 1
+    out = capsys.readouterr().out
+    record = json.loads(out.splitlines()[0])
+    assert record["rule"] == "unseeded-random"

@@ -17,12 +17,16 @@ Five commands, mirroring the paper's narrative:
   docs/BENCHMARKS.md);
 - ``lint`` — the domain-aware static analyzer: determinism rules, the
   RFC 1661 FSM exhaustiveness check, and annotation coverage for the
-  strict packages (exit 1 on findings; see docs/STATIC_ANALYSIS.md).
+  strict packages (exit 1 on findings; see docs/STATIC_ANALYSIS.md);
+- ``chaos`` — the fault-injection campaign: every built-in scenario
+  must recover or degrade cleanly, never hang, and (``--check``)
+  reproduce its recovery timeline bit-identically (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import (
@@ -213,6 +217,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults.chaos import BUILTIN_SCENARIOS, run_campaign
+
+    if args.list:
+        for scenario in BUILTIN_SCENARIOS:
+            print(f"{scenario.name:<24} expect {scenario.expected:<10} "
+                  f"{scenario.description}")
+        return 0
+    try:
+        code, reports = run_campaign(names=args.scenario or None, check=args.check)
+    except KeyError as exc:
+        print(f"chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for report in reports:
+        verdict = "ok  " if report["ok"] else "FAIL"
+        detail = f"{report['outcome']} (expected {report['expected']})"
+        if args.check and not report.get("deterministic", True):
+            detail += " NON-DETERMINISTIC"
+        print(f"{verdict} {report['scenario']:<24} {detail:<36} "
+              f"faults={report['faults_injected']} retries={report['retries']} "
+              f"t={report['sim_time']:.1f}s")
+    if args.jsonl is not None:
+        lines = [json.dumps(report, sort_keys=True) for report in reports]
+        Path(args.jsonl).write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} report(s) to {args.jsonl}")
+    counts = {}
+    for report in reports:
+        counts[report["outcome"]] = counts.get(report["outcome"], 0) + 1
+    summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    ok = sum(1 for report in reports if report["ok"])
+    print(f"chaos: {ok}/{len(reports)} scenarios as expected ({summary})")
+    return code
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -296,6 +336,24 @@ def main(argv=None) -> int:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injection campaign over the dial-up stack"
+    )
+    chaos_parser.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    chaos_parser.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    chaos_parser.add_argument(
+        "--check", action="store_true",
+        help="run every scenario twice and require bit-identical digests",
+    )
+    chaos_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write per-scenario reports as JSON lines to PATH",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -304,6 +362,7 @@ def main(argv=None) -> int:
         "saturation": _cmd_saturation,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

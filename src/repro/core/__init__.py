@@ -15,6 +15,14 @@ UMTS interface:
 
 from repro.core.backend import SCRIPT_NAME, USAGE, UmtsBackend
 from repro.core.connection import ConnectionState, UmtsConnectionManager
+from repro.core.retry import (
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    classify_comgt,
+    classify_wvdial,
+)
+from repro.core.supervisor import ConnectionSupervisor
 from repro.core.errors import (
     ConnectionStateError,
     HardwareMissingError,
@@ -33,13 +41,17 @@ from repro.core.isolation import (
 from repro.core.lock import InterfaceLock
 
 __all__ = [
+    "PERMANENT",
+    "TRANSIENT",
     "ConnectionState",
     "ConnectionStateError",
+    "ConnectionSupervisor",
     "HardwareMissingError",
     "InterfaceLock",
     "InterfaceLockedError",
     "IsolationManager",
     "NotOwnerError",
+    "RetryPolicy",
     "PREF_FWMARK_RULE",
     "PREF_SRC_RULE",
     "SCRIPT_NAME",
@@ -50,4 +62,6 @@ __all__ = [
     "UmtsCommand",
     "UmtsCommandError",
     "UmtsConnectionManager",
+    "classify_comgt",
+    "classify_wvdial",
 ]

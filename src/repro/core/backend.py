@@ -170,6 +170,9 @@ class UmtsBackend:
 
     def _on_connection_down(self, reason: str) -> None:
         """Unexpected drops (carrier lost) must not leave stale rules."""
+        # The signal's wait() is one-shot; stay subscribed so every
+        # drop in a fault-heavy run gets its cleanup, not just the first.
+        self.connection.went_down.wait(self._on_connection_down)
         if reason == "umts stop":
             return  # the _stop path already cleaned up
         if self.isolation.active:

@@ -10,8 +10,10 @@ dial-up takes seconds of wall clock.
 from __future__ import annotations
 
 import enum
+import random as _random
 from typing import List, Optional
 
+from repro.core.retry import PERMANENT, RetryPolicy, classify_comgt, classify_wvdial
 from repro.modem.comgt import Comgt
 from repro.modem.device import Modem3G
 from repro.modem.wvdial import SerialPppTransport, Wvdial
@@ -20,6 +22,16 @@ from repro.ppp.daemon import Pppd
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 from repro.sim.rng import RandomStreams
+
+#: Registration (comgt) retry schedule: 2 s, 4 s between attempts.
+DEFAULT_REGISTRATION_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=2.0, multiplier=2.0, max_delay=30.0, jitter=0.25
+)
+#: Dial + PPP retry schedule: each attempt covers wvdial *and* the
+#: negotiation, because a failed negotiation needs a fresh carrier.
+DEFAULT_DIAL_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=2.0, multiplier=2.0, max_delay=30.0, jitter=0.25
+)
 
 
 class ConnectionState(enum.Enum):
@@ -45,6 +57,8 @@ class UmtsConnectionManager:
         streams: RandomStreams,
         pin: Optional[str] = None,
         ifname: str = "ppp0",
+        registration_policy: Optional[RetryPolicy] = None,
+        dial_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.stack = stack
@@ -53,6 +67,8 @@ class UmtsConnectionManager:
         self.pin = pin
         self.ifname = ifname
         self.streams = streams
+        self.registration_policy = registration_policy or DEFAULT_REGISTRATION_POLICY
+        self.dial_policy = dial_policy or DEFAULT_DIAL_POLICY
         self.state = ConnectionState.DOWN
         self.pppd: Optional[Pppd] = None
         self.transport: Optional[SerialPppTransport] = None
@@ -60,8 +76,16 @@ class UmtsConnectionManager:
         self.connects = 0
         self.disconnects = 0
         self.carrier_losses = 0
-        #: fired with a reason when the connection drops for any cause.
+        self.retries = 0
+        self._retry_rng: Optional[_random.Random] = None
+        #: fired with a reason when an *established* connection drops —
+        #: the backend's cleanup and the supervisor listen here.  A
+        #: carrier death mid-negotiation is connect()'s internal retry
+        #: business and must not look like a connection loss to them.
         self.went_down = Signal(sim, "umts.down")
+        #: fired on every carrier loss, established or not (internal:
+        #: wakes a connect() blocked in PPP negotiation).
+        self._carrier_down = Signal(sim, "umts.carrier-down")
 
     # -- observability ----------------------------------------------------
 
@@ -122,69 +146,130 @@ class UmtsConnectionManager:
 
     # -- connect / disconnect ------------------------------------------------
 
+    def _backoff_rng(self) -> _random.Random:
+        """The jitter stream, created on first use.
+
+        Lazy on purpose: the unfaulted happy path never backs off, so
+        it must not even *open* the stream (named-stream creation is
+        cheap but observable in exhaustive-determinism audits).
+        """
+        if self._retry_rng is None:
+            self._retry_rng = self.streams.stream("umts-retry")
+        return self._retry_rng
+
+    def _retry_backoff(self, phase: str, attempt: int, policy: RetryPolicy, trace):
+        """Generator: record one retry and wait out the backoff."""
+        self.retries += 1
+        self._count("umts.retries")
+        delay = policy.delay(attempt, self._backoff_rng())
+        if trace is not None:
+            trace.emit("umts.retry", phase=phase, attempt=attempt, delay=round(delay, 6))
+        yield delay
+
+    def _register_with_retry(self, trace):
+        """Generator: run comgt under the registration policy."""
+        policy = self.registration_policy
+        code, lines = 1, ["comgt: not attempted"]
+        for attempt in policy.attempts():
+            code, lines = yield from Comgt(self.modem.port, pin=self.pin).run()
+            if code == 0 or classify_comgt(lines) == PERMANENT or policy.is_last(attempt):
+                return code, lines
+            yield from self._retry_backoff("registration", attempt, policy, trace)
+        return code, lines
+
     def connect(self):
-        """Generator: bring the connection up.  Returns (code, lines)."""
+        """Generator: bring the connection up.  Returns (code, lines).
+
+        Registration runs under ``registration_policy``; the dial and
+        the PPP negotiation retry together under ``dial_policy`` (a
+        failed negotiation needs a fresh carrier, so the two phases are
+        one unit of work).  Permanent failures — registration denied,
+        SIM PIN trouble — abort immediately.
+        """
         if self.state != ConnectionState.DOWN:
             return 1, [f"umts: connection is {self.state.value}, expected down"]
         trace = self.sim.trace
         span = trace.span("umts.connect", apn=self.apn) if trace is not None else None
         self._set_state(ConnectionState.REGISTERING, "umts start")
-        code, lines = yield from Comgt(self.modem.port, pin=self.pin).run()
+        code, lines = yield from self._register_with_retry(trace)
         if code != 0:
             self._set_state(ConnectionState.DOWN, "registration failed")
             if span is not None:
                 span.fail("registration failed")
             self._count("umts.connect_failures")
             return 1, lines
-        self._set_state(ConnectionState.DIALING, "registered")
-        dial_code, dial_lines = yield from Wvdial(self.modem.port, apn=self.apn).run()
-        lines.extend(dial_lines)
-        if dial_code != 0:
-            self._set_state(ConnectionState.DOWN, "dial failed")
-            if span is not None:
-                span.fail("dial failed")
-            self._count("umts.connect_failures")
-            return 1, lines
-        self._set_state(ConnectionState.NEGOTIATING, "carrier acquired")
-        self.transport = SerialPppTransport(
-            self.sim, self.modem.port, on_carrier_lost=self._carrier_lost
-        )
-        self.pppd = Pppd(
-            self.sim,
-            self.stack,
-            self.transport,
-            role="client",
-            ifname=self.ifname,
-            rng=self.streams.stream(f"ppp-magic.{self.connects}"),
-            request_dns=True,  # pppd's usepeerdns: take the operator's DNS
-        )
-        outcome = Signal(self.sim, "ppp-outcome")
-        self.pppd.up.wait(lambda iface: outcome.fire(("up", iface)))
-        self.pppd.failed.wait(lambda reason: outcome.fire(("failed", reason)))
-        self.pppd.start()
-        kind, value = yield outcome
-        if kind == "failed":
-            self._set_state(ConnectionState.DOWN, f"ppp failed: {value}")
+        policy = self.dial_policy
+        for attempt in policy.attempts():
+            self._set_state(ConnectionState.DIALING, "registered")
+            dial_code, dial_lines = yield from Wvdial(
+                self.modem.port, apn=self.apn
+            ).run()
+            lines.extend(dial_lines)
+            if dial_code != 0:
+                if classify_wvdial(dial_lines) == PERMANENT or policy.is_last(attempt):
+                    self._set_state(ConnectionState.DOWN, "dial failed")
+                    if span is not None:
+                        span.fail("dial failed")
+                    self._count("umts.connect_failures")
+                    return 1, lines
+                yield from self._retry_backoff("dial", attempt, policy, trace)
+                continue
+            self._set_state(ConnectionState.NEGOTIATING, "carrier acquired")
+            self.transport = SerialPppTransport(
+                self.sim, self.modem.port, on_carrier_lost=self._carrier_lost
+            )
+            self.pppd = Pppd(
+                self.sim,
+                self.stack,
+                self.transport,
+                role="client",
+                ifname=self.ifname,
+                rng=self.streams.stream(f"ppp-magic.{self.connects}"),
+                request_dns=True,  # pppd's usepeerdns: take the operator's DNS
+            )
+            outcome = Signal(self.sim, "ppp-outcome")
+
+            def on_lost(reason, _outcome=outcome):
+                # Carrier death mid-negotiation: neither pppd.up nor
+                # pppd.failed would ever fire, so this keeps connect()
+                # from blocking forever.
+                _outcome.fire(("failed", reason))
+
+            self.pppd.up.wait(lambda iface: outcome.fire(("up", iface)))
+            self.pppd.failed.wait(lambda reason: outcome.fire(("failed", reason)))
+            self._carrier_down.wait(on_lost)
+            self.pppd.start()
+            kind, value = yield outcome
+            self._carrier_down.unwait(on_lost)
+            if kind == "up":
+                self._set_state(ConnectionState.UP, "ipcp open")
+                self.connected_at = self.sim.now
+                self.connects += 1
+                self._count("umts.connects")
+                if trace is not None:
+                    trace.emit(
+                        "dial.addr_assigned", addr=str(value.address), ifname=self.ifname
+                    )
+                if span is not None:
+                    span.end(addr=str(value.address))
+                lines.append(f"pppd: {self.ifname} up, local address {value.address}")
+                return 0, lines
             self._drop_transport()
+            self.pppd = None
             lines.append(f"pppd: {value}")
             if trace is not None:
                 trace.error("umts.ppp_failed", reason=str(value))
-            if span is not None:
-                span.fail(str(value))
-            self._count("umts.connect_failures")
-            return 1, lines
-        self._set_state(ConnectionState.UP, "ipcp open")
-        self.connected_at = self.sim.now
-        self.connects += 1
-        self._count("umts.connects")
-        if trace is not None:
-            trace.emit(
-                "dial.addr_assigned", addr=str(value.address), ifname=self.ifname
-            )
-        if span is not None:
-            span.end(addr=str(value.address))
-        lines.append(f"pppd: {self.ifname} up, local address {value.address}")
-        return 0, lines
+            if policy.is_last(attempt):
+                self._set_state(ConnectionState.DOWN, f"ppp failed: {value}")
+                if span is not None:
+                    span.fail(str(value))
+                self._count("umts.connect_failures")
+                return 1, lines
+            # Return the modem to command mode (and release the half-dead
+            # data call) before backing off and re-dialing.
+            yield from Wvdial(self.modem.port, apn=self.apn).hangup()
+            yield from self._retry_backoff("ppp", attempt, policy, trace)
+        return 1, lines  # pragma: no cover - loop always returns
 
     def disconnect(self):
         """Generator: tear the connection down.  Returns (code, lines)."""
@@ -214,6 +299,7 @@ class UmtsConnectionManager:
     # -- failure paths -----------------------------------------------------------
 
     def _carrier_lost(self) -> None:
+        was_up = self.state == ConnectionState.UP
         self.carrier_losses += 1
         self._count("umts.carrier_losses")
         trace = self.sim.trace
@@ -224,7 +310,9 @@ class UmtsConnectionManager:
         self._drop_transport()
         self._set_state(ConnectionState.DOWN, "carrier lost")
         self.connected_at = None
-        self.went_down.fire("carrier lost")
+        self._carrier_down.fire("carrier lost")
+        if was_up:
+            self.went_down.fire("carrier lost")
 
     def _drop_transport(self) -> None:
         if self.transport is not None:

@@ -1,0 +1,46 @@
+"""repro.faults — deterministic fault injection for the dial-up stack.
+
+The paper's premise is that UMTS links fail in the field: registration
+is refused, PPP negotiation stalls, the operator drops the data call.
+This package makes those failures *reproducible*:
+
+- :class:`FaultPlan` / :class:`FaultSpec` — declarative per-scenario
+  fault lists (``FaultPlan.from_spec("registration:cme_error@t=2.0")``),
+  validated against the :data:`~repro.faults.plan.CATALOG` of
+  injection points threaded through the modem serial link, comgt
+  registration, wvdial/pppd, the vsys FIFO pipes, and the UMTS
+  operator model;
+- :class:`FaultRegistry` — the live matcher hung off the simulator as
+  ``sim.faults`` (same zero-cost ``None`` contract as ``sim.trace``);
+- typed classification errors (:class:`TransientError` /
+  :class:`PermanentError`) the retry layer in :mod:`repro.core.retry`
+  acts on;
+- the chaos campaign (:mod:`repro.faults.chaos`, imported lazily — it
+  pulls in the full testbed) behind ``python -m repro chaos``.
+
+See ``docs/FAULTS.md`` for the fault taxonomy and plan grammar.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    PermanentError,
+    PipeClosedError,
+    TransientError,
+    VsysProtocolError,
+)
+from repro.faults.plan import CATALOG, FaultPlan, FaultSpec, FaultSpecError, Garbled
+from repro.faults.registry import FaultRegistry
+
+__all__ = [
+    "CATALOG",
+    "FaultError",
+    "FaultPlan",
+    "FaultRegistry",
+    "FaultSpec",
+    "FaultSpecError",
+    "Garbled",
+    "PermanentError",
+    "PipeClosedError",
+    "TransientError",
+    "VsysProtocolError",
+]

@@ -1,0 +1,324 @@
+"""The chaos campaign: the OneLab scenario under declared faults.
+
+Each :class:`ChaosScenario` pairs a :class:`~repro.faults.plan.FaultPlan`
+with an expectation — the dial-up stack either **recovers** (service is
+delivered despite the faults) or **degrades cleanly** (a terminal
+error, no stale lock/rules/interface).  The one outcome that is never
+acceptable is a **hung** driver: every layer owns a deadline or an
+attempt budget precisely so that a silent modem, a dead FIFO peer or a
+lost carrier cannot wedge ``umts start`` forever.
+
+The campaign is seed-deterministic end to end: every scenario runs the
+same testbed seed, jitter comes from named RNG streams, and the full
+trace (minus wall-clock fields) is folded into a SHA-256 digest —
+``repro chaos --check`` runs every scenario twice and requires
+bit-identical recovery timelines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.isolation import UMTS_TABLE
+from repro.core.supervisor import ConnectionSupervisor
+from repro.faults.plan import FaultPlan
+from repro.obs.trace import TraceBus, TraceEvent
+from repro.sim.process import spawn
+from repro.testbed.scenarios import DEFAULT_SLICE_NAME, OneLabScenario
+
+#: Outcome labels (also the JSONL vocabulary).
+RECOVERED = "recovered"
+DEGRADED = "degraded"
+HUNG = "hung"
+DIRTY = "dirty"
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One campaign entry: a fault plan plus the expected outcome."""
+
+    name: str
+    description: str
+    specs: Tuple[str, ...]
+    expected: str
+    supervise: bool = False
+    hold: float = 60.0
+    deadline: float = 600.0
+    seed: int = 3
+
+
+#: The built-in single-fault matrix.  ``expected`` encodes the contract:
+#: *recovered* — retry/backoff (or FSM retransmission, or the
+#: supervisor) absorbs the fault and service is delivered end to end;
+#: *degraded* — the fault is unrecoverable within the attempt budget,
+#: and the stack reports a terminal error with no state left behind.
+BUILTIN_SCENARIOS: Tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        "baseline",
+        "no faults at all: the control run the campaign's digests anchor to",
+        (),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "serial_drop",
+        "the modem swallows its first two response lines (dead firmware moment)",
+        ("serial:drop@t=0,count=2",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "serial_garble",
+        "line noise garbles the first two modem responses",
+        ("serial:garble@t=0,count=2",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "registration_cme",
+        "AT+CREG? answers '+CME ERROR: no network service' twice",
+        ("registration:cme_error@t=0,count=2",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "registration_denied",
+        "the network denies registration (permanent: no retry should happen)",
+        ("registration:denied@t=0",),
+        DEGRADED,
+    ),
+    ChaosScenario(
+        "registration_slow",
+        "the card reports 'searching' for 30 s before finding the network",
+        ("registration:searching@t=0,for=30",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "dial_no_carrier",
+        "the first PDP activation is rejected with NO CARRIER",
+        ("dial:no_carrier@t=0,count=1",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "dial_dead",
+        "every dial attempt ends in NO CARRIER (no coverage for data)",
+        ("dial:no_carrier@t=0",),
+        DEGRADED,
+    ),
+    ChaosScenario(
+        "lcp_loss",
+        "the first two outbound LCP frames are lost (LCP retransmits)",
+        ("ppp:lcp_drop@t=0,count=2",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "lcp_dead",
+        "every outbound LCP frame is lost: negotiation can never complete",
+        ("ppp:lcp_drop@t=0",),
+        DEGRADED,
+    ),
+    ChaosScenario(
+        "ipcp_stall",
+        "the first two outbound IPCP frames are lost (IPCP retransmits)",
+        ("ppp:ipcp_stall@t=0,count=2",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "session_refuse",
+        "the operator refuses the first PDP context activation",
+        ("session:refuse@t=0,count=1",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "session_drop",
+        "the GGSN kills the session mid-call; nobody re-dials",
+        ("session:drop@t=40",),
+        DEGRADED,
+    ),
+    ChaosScenario(
+        "session_drop_supervised",
+        "the GGSN kills the session mid-call; the supervisor re-dials",
+        ("session:drop@t=40",),
+        RECOVERED,
+        supervise=True,
+        hold=90.0,
+    ),
+    ChaosScenario(
+        "rab_preempt",
+        "voice traffic preempts the bearer mid-call (rate collapses, call survives)",
+        ("session:rab_preempt@t=40",),
+        RECOVERED,
+    ),
+    ChaosScenario(
+        "vsys_truncate",
+        "the slice's 'start' request line arrives truncated on the FIFO",
+        ("vsys:truncate_request@t=0,count=1",),
+        DEGRADED,
+    ),
+    ChaosScenario(
+        "vsys_drop_output",
+        "one back-end output line is lost on the FIFO (exit code survives)",
+        ("vsys:drop_response@t=0,count=1",),
+        RECOVERED,
+    ),
+)
+
+
+def scenario_names() -> List[str]:
+    """The built-in scenario names, campaign order."""
+    return [scenario.name for scenario in BUILTIN_SCENARIOS]
+
+
+class _Collector:
+    """A trace sink buffering every event for the digest."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+def _digest(events: Sequence[TraceEvent]) -> str:
+    """SHA-256 over the trace, wall-clock fields excluded.
+
+    ``span_end`` events carry a ``wall`` field (host CPU seconds);
+    everything else in a trace record is a pure function of the seed.
+    """
+    hasher = hashlib.sha256()
+    for event in events:
+        record = event.to_dict()
+        fields = record.get("fields")
+        if fields and "wall" in fields:
+            record["fields"] = {k: v for k, v in fields.items() if k != "wall"}
+        hasher.update(json.dumps(record, sort_keys=True, default=str).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _clean_state(testbed: OneLabScenario) -> bool:
+    """The invariant every scenario must end on: nothing left behind."""
+    backend = testbed.napoli.umts_backend
+    stack = testbed.napoli.stack
+    return (
+        not backend.lock.locked
+        and not backend.isolation.active
+        and "ppp0" not in stack.interfaces
+        and stack.ip.route_list(UMTS_TABLE) == []
+    )
+
+
+def run_scenario(scenario: ChaosScenario) -> Dict[str, Any]:
+    """Run one scenario to completion and classify the outcome."""
+    testbed = OneLabScenario(seed=scenario.seed)
+    sim = testbed.sim
+    bus = TraceBus(sim)
+    collector = _Collector()
+    bus.attach(collector)
+    sim.trace = bus
+    plan = FaultPlan.from_spec(*scenario.specs)
+    registry = plan.install(sim, rng=testbed.streams.stream("faults"))
+    supervisor: Optional[ConnectionSupervisor] = None
+    if scenario.supervise:
+        backend = testbed.napoli.umts_backend
+        supervisor = ConnectionSupervisor(
+            sim,
+            testbed.napoli.connection,
+            restart=lambda: backend.handler(DEFAULT_SLICE_NAME, ["start"]),
+            rng=testbed.streams.stream("supervisor"),
+        )
+    umts = testbed.umts_command()
+    state: Dict[str, Any] = {
+        "start": None,
+        "status": None,
+        "stop": None,
+        "finished": False,
+    }
+
+    def driver():
+        state["start"] = yield umts.start()
+        yield scenario.hold
+        state["status"] = yield umts.status()
+        if testbed.napoli.connection.is_up:
+            state["stop"] = yield umts.stop()
+        state["finished"] = True
+
+    spawn(sim, driver(), name=f"chaos:{scenario.name}")
+    sim.run(until=scenario.deadline)
+    if supervisor is not None:
+        supervisor.stop()
+
+    hung = not state["finished"]
+    clean = not hung and _clean_state(testbed)
+    start = state["start"]
+    status = state["status"]
+    stop = state["stop"]
+    start_ok = start is not None and start.code == 0
+    status_up = (
+        status is not None and bool(status.lines) and status.lines[0] == "state: up"
+    )
+    stop_ok = stop is not None and stop.code == 0
+    if hung:
+        outcome = HUNG
+    elif start_ok and status_up and stop_ok and clean:
+        outcome = RECOVERED
+    elif clean:
+        outcome = DEGRADED
+    else:
+        outcome = DIRTY
+    return {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "specs": [str(spec) for spec in plan.specs],
+        "seed": scenario.seed,
+        "supervised": scenario.supervise,
+        "expected": scenario.expected,
+        "outcome": outcome,
+        "ok": outcome == scenario.expected,
+        "hung": hung,
+        "clean": clean,
+        "start_code": None if start is None else start.code,
+        "status_lines": None if status is None else list(status.lines),
+        "stop_code": None if stop is None else stop.code,
+        "fired": dict(registry.fired),
+        "faults_injected": sum(registry.fired.values()),
+        "heals": 0 if supervisor is None else supervisor.heals,
+        "retries": testbed.napoli.connection.retries,
+        "events": len(collector.events),
+        "sim_time": round(sim.now, 6),
+        "digest": _digest(collector.events),
+    }
+
+
+def run_campaign(
+    names: Optional[Sequence[str]] = None,
+    check: bool = False,
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """Run (a subset of) the campaign.  Returns (exit code, reports).
+
+    Exit 0 when every scenario matched its expectation (and, with
+    ``check``, reproduced its digest on a second run); 1 otherwise;
+    2 for unknown scenario names.
+    """
+    selected = list(BUILTIN_SCENARIOS)
+    if names:
+        known = {scenario.name: scenario for scenario in BUILTIN_SCENARIOS}
+        missing = [name for name in names if name not in known]
+        if missing:
+            raise KeyError(
+                f"unknown scenario(s): {', '.join(missing)} "
+                f"(known: {', '.join(known)})"
+            )
+        selected = [known[name] for name in names]
+    reports: List[Dict[str, Any]] = []
+    failures = 0
+    for scenario in selected:
+        report = run_scenario(scenario)
+        if check:
+            rerun = run_scenario(scenario)
+            report["deterministic"] = rerun["digest"] == report["digest"]
+            if not report["deterministic"]:
+                report["ok"] = False
+        if not report["ok"]:
+            failures += 1
+        reports.append(report)
+    return (1 if failures else 0), reports

@@ -1,0 +1,33 @@
+"""Typed fault/failure classification errors.
+
+The retry layer (:mod:`repro.core.retry`) decides whether to back off
+and try again or to give up based on *what kind* of failure occurred.
+These exception types carry that classification explicitly, replacing
+the bare assumptions ("reads are complete", "sub-steps cannot fail")
+that used to live in ``vsys/daemon.py`` and ``ppp/daemon.py``.
+
+This module is dependency-free on purpose: ``ppp`` and ``vsys`` import
+it without pulling in ``repro.core`` (which imports them back).
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for classified failures."""
+
+
+class TransientError(FaultError):
+    """A failure that is expected to heal: worth retrying with backoff."""
+
+
+class PermanentError(FaultError):
+    """A failure that retrying cannot fix (bad credentials, ACL denial)."""
+
+
+class VsysProtocolError(TransientError):
+    """A vsys FIFO request line was unreadable (truncated/interleaved write)."""
+
+
+class PipeClosedError(PermanentError):
+    """The peer closed the FIFO pair while a request was in flight."""

@@ -1,0 +1,207 @@
+"""Fault plans: what to break, when, and how often.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec`
+entries, each naming an *injection point* (``serial``, ``registration``,
+``dial``, ``ppp``, ``vsys``, ``session``) and a *mode* at that point,
+plus an optional activation window and shot count.  Plans are written
+in a compact spec grammar::
+
+    FaultPlan.from_spec(
+        "registration:cme_error@t=2.0,count=2",
+        "ppp:lcp_drop@t=0,for=15",
+        "session:drop@t=40",
+    )
+
+Grammar: ``point:mode[@key=value[,key=value...]]`` with keys
+
+``t``      activation time in simulated seconds (default 0.0);
+``for``    window length in seconds (default: open-ended);
+``count``  number of shots before the spec is exhausted (default:
+           unlimited for passive points, one for triggered modes);
+``p``      per-opportunity firing probability in (0, 1]; draws come
+           from the named RNG stream the plan is installed with.
+
+Installing a plan hangs a :class:`~repro.faults.registry.FaultRegistry`
+off the simulator (``sim.faults``), mirroring the ``sim.trace`` /
+``sim.metrics`` zero-cost contract: components check the attribute and
+do nothing when it is ``None``, so unfaulted runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+#: Every valid (point, mode) pair; ``from_spec`` rejects anything else
+#: so a typo cannot silently produce a fault that never fires.
+CATALOG: Dict[str, Tuple[str, ...]] = {
+    "serial": ("drop", "garble"),
+    "registration": ("cme_error", "denied", "searching"),
+    "dial": ("no_carrier",),
+    "ppp": ("lcp_drop", "ipcp_stall"),
+    "vsys": ("truncate_request", "drop_response"),
+    "session": ("drop", "rab_preempt", "refuse"),
+}
+
+#: (point, mode) pairs delivered by activation events to subscribers
+#: (the operator model) instead of being polled via ``fire``.
+TRIGGERED: Tuple[Tuple[str, str], ...] = (
+    ("session", "drop"),
+    ("session", "rab_preempt"),
+)
+
+
+class FaultSpecError(ValueError):
+    """A spec string does not parse or names an unknown point/mode."""
+
+
+class Garbled:
+    """Marker wrapping an item destroyed in transit.
+
+    The host side treats a garbled line as noise (chat skips it, the
+    PPP transport counts and drops it — the HDLC FCS would have
+    rejected the frame), so a garble behaves like a drop with evidence.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Garbled {self.original!r}>"
+
+
+@dataclass
+class FaultSpec:
+    """One fault: where, what, when, and how many times."""
+
+    point: str
+    mode: str
+    at: float = 0.0
+    duration: Optional[float] = None
+    count: Optional[int] = None
+    probability: Optional[float] = None
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        modes = CATALOG.get(self.point)
+        if modes is None:
+            raise FaultSpecError(
+                f"unknown fault point {self.point!r} (known: {', '.join(CATALOG)})"
+            )
+        if self.mode not in modes:
+            raise FaultSpecError(
+                f"unknown mode {self.mode!r} for point {self.point!r} "
+                f"(known: {', '.join(modes)})"
+            )
+        if self.at < 0:
+            raise FaultSpecError(f"activation time must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration < 0:
+            raise FaultSpecError(f"duration must be >= 0, got {self.duration}")
+        if self.count is not None and self.count < 1:
+            raise FaultSpecError(f"count must be >= 1, got {self.count}")
+        if self.probability is not None and not 0 < self.probability <= 1:
+            raise FaultSpecError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable ``point:mode`` label (trace fields, fired counters)."""
+        return f"{self.point}:{self.mode}"
+
+    @property
+    def triggered(self) -> bool:
+        """Whether this spec is delivered to subscribers at ``at``."""
+        return (self.point, self.mode) in TRIGGERED
+
+    def active_at(self, now: float) -> bool:
+        """Whether ``now`` falls inside the activation window."""
+        if now < self.at:
+            return False
+        if self.duration is not None and now > self.at + self.duration:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        extra = [f"t={self.at:g}"]
+        if self.duration is not None:
+            extra.append(f"for={self.duration:g}")
+        if self.count is not None:
+            extra.append(f"count={self.count}")
+        if self.probability is not None:
+            extra.append(f"p={self.probability:g}")
+        extra.extend(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.key}@{','.join(extra)}"
+
+
+def _parse_one(spec: str) -> FaultSpec:
+    head, _, tail = spec.partition("@")
+    point, sep, mode = head.partition(":")
+    if not sep or not point.strip() or not mode.strip():
+        raise FaultSpecError(f"expected 'point:mode[@k=v,...]', got {spec!r}")
+    kwargs: Dict[str, Any] = {"point": point.strip(), "mode": mode.strip()}
+    params: Dict[str, str] = {}
+    if tail:
+        for pair in tail.split(","):
+            key, sep, value = pair.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not key or not value:
+                raise FaultSpecError(f"expected 'key=value' in {spec!r}, got {pair!r}")
+            try:
+                if key == "t":
+                    kwargs["at"] = float(value)
+                elif key == "for":
+                    kwargs["duration"] = float(value)
+                elif key == "count":
+                    kwargs["count"] = int(value)
+                elif key == "p":
+                    kwargs["probability"] = float(value)
+                else:
+                    params[key] = value
+            except ValueError as exc:
+                raise FaultSpecError(f"bad value for {key!r} in {spec!r}: {exc}") from None
+    kwargs["params"] = params
+    return FaultSpec(**kwargs)
+
+
+class FaultPlan:
+    """An ordered list of fault specs for one scenario run."""
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None) -> None:
+        self.specs: List[FaultSpec] = list(specs or [])
+
+    @classmethod
+    def from_spec(cls, *specs: str) -> "FaultPlan":
+        """Parse spec strings (see the module docstring for the grammar)."""
+        return cls([_parse_one(spec) for spec in specs])
+
+    def install(self, sim: Simulator, rng: Any = None) -> Any:
+        """Attach a registry for this plan as ``sim.faults``.
+
+        ``rng`` (a seeded ``random.Random``, typically a
+        ``RandomStreams`` named stream) is required when any spec uses a
+        ``p=`` probability; deterministic draws keep faulted runs
+        bit-identical per seed.
+        """
+        from repro.faults.registry import FaultRegistry
+
+        if rng is None and any(s.probability is not None for s in self.specs):
+            raise FaultSpecError(
+                "plan has probabilistic specs; install with a named RNG stream"
+            )
+        registry = FaultRegistry(sim, self.specs, rng=rng)
+        sim.faults = registry
+        for spec in self.specs:
+            if spec.triggered:
+                sim.schedule(max(0.0, spec.at - sim.now), registry._activate, spec)
+        return registry
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan {[str(s) for s in self.specs]}>"

@@ -1,0 +1,127 @@
+"""The live side of a fault plan: matching, counting, triggering.
+
+Injection points consult the registry hung off the simulator::
+
+    faults = self.sim.faults
+    if faults is not None and faults.fire("serial", "drop"):
+        return  # the response line is lost
+
+``fire`` returns the consumed :class:`~repro.faults.plan.FaultSpec`
+(truthy) when a spec matches the point, one of the offered modes, the
+current time window, the remaining shot count and the probability draw;
+``None`` otherwise.  Triggered specs (GGSN session drop, RAB
+preemption) are instead *pushed* to subscribers by activation events
+the plan schedules at their ``t=``; a subscriber arriving late (the
+data call opens after the activation time) receives pending triggers
+immediately, so a mid-call fault is never silently lost.
+
+Every applied fault increments ``fired[point:mode]`` and emits a
+``fault.injected`` TraceBus event — the chaos campaign's
+delete-one-handler proof asserts on those counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.plan import FaultSpec
+from repro.sim.engine import Simulator
+
+#: A trigger subscriber: returns True when it applied the fault.
+TriggerHandler = Callable[[FaultSpec], bool]
+
+
+class FaultRegistry:
+    """Active fault state for one simulation run."""
+
+    def __init__(
+        self, sim: Simulator, specs: List[FaultSpec], rng: Any = None
+    ) -> None:
+        self.sim = sim
+        self.specs = list(specs)
+        self._rng = rng
+        self._remaining: Dict[int, Optional[int]] = {
+            index: spec.count for index, spec in enumerate(self.specs)
+        }
+        #: ``point:mode`` → times the fault was actually applied.
+        self.fired: Dict[str, int] = {}
+        self._subscribers: Dict[str, List[TriggerHandler]] = {}
+        self._pending: List[FaultSpec] = []
+
+    # -- passive injection points ----------------------------------------
+
+    def fire(self, point: str, *modes: str) -> Optional[FaultSpec]:
+        """Consume and return the first spec matching ``point`` (and, if
+        given, one of ``modes``) right now; ``None`` when nothing fires."""
+        now = self.sim.now
+        for index, spec in enumerate(self.specs):
+            if spec.triggered or spec.point != point:
+                continue
+            if modes and spec.mode not in modes:
+                continue
+            if not spec.active_at(now):
+                continue
+            remaining = self._remaining[index]
+            if remaining is not None and remaining <= 0:
+                continue
+            if spec.probability is not None:
+                if self._rng is None or self._rng.random() >= spec.probability:
+                    continue
+            if remaining is not None:
+                self._remaining[index] = remaining - 1
+            self._record(spec)
+            return spec
+        return None
+
+    # -- triggered injection points ---------------------------------------
+
+    def subscribe(self, point: str, handler: TriggerHandler) -> None:
+        """Register a handler for triggered specs at ``point``.
+
+        Idempotent per handler; pending (already activated, unconsumed)
+        triggers are delivered to the new subscriber at once.
+        """
+        handlers = self._subscribers.setdefault(point, [])
+        if handler in handlers:
+            return
+        handlers.append(handler)
+        pending = [spec for spec in self._pending if spec.point == point]
+        for spec in pending:
+            self.sim.schedule(0.0, self._deliver, spec)
+
+    def _activate(self, spec: FaultSpec) -> None:
+        """Activation event for a triggered spec (scheduled at install)."""
+        self._deliver(spec)
+
+    def _deliver(self, spec: FaultSpec) -> None:
+        if spec not in self._pending:
+            self._pending.append(spec)
+        for handler in list(self._subscribers.get(spec.point, [])):
+            if spec not in self._pending:
+                return  # a concurrent delivery already consumed it
+            if handler(spec):
+                self._pending.remove(spec)
+                self._record(spec)
+                return
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, spec: FaultSpec) -> None:
+        self.fired[spec.key] = self.fired.get(spec.key, 0) + 1
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                "fault.injected",
+                point=spec.point,
+                mode=spec.mode,
+                spec=str(spec),
+                nth=self.fired[spec.key],
+            )
+
+    def fired_total(self, point: str) -> int:
+        """Total applied faults at ``point`` across all modes."""
+        prefix = f"{point}:"
+        return sum(n for key, n in self.fired.items() if key.startswith(prefix))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultRegistry specs={len(self.specs)} fired={self.fired}>"

@@ -14,7 +14,11 @@ Three rule families guard the properties the reproduction depends on:
 - **typing** (:mod:`repro.lint.rules.typing_defs`) — the ``sim``,
   ``ppp``, ``vsys`` and ``bench`` packages require fully annotated
   defs, mirroring the mypy ``disallow_untyped_defs`` escalation in
-  ``pyproject.toml`` so violations surface even where mypy is absent.
+  ``pyproject.toml`` so violations surface even where mypy is absent;
+- **retry policy** (:mod:`repro.lint.rules.retry`) — no ``time.sleep``
+  and no hand-rolled ``range()``-based retry loops; every retry goes
+  through :class:`repro.core.retry.RetryPolicy` so attempt budgets and
+  backoff schedules are declared and seed-deterministic.
 
 Findings are suppressed per line with ``# lint: allow(<rule-id>)``
 pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
@@ -28,7 +32,7 @@ from repro.lint.report import human_report, jsonl_report
 from repro.lint.runner import iter_python_files, lint_paths
 
 # Importing the rule modules registers every rule in RULES.
-from repro.lint.rules import determinism, fsm, typing_defs  # noqa: F401  (registration)
+from repro.lint.rules import determinism, fsm, retry, typing_defs  # noqa: F401  (registration)
 
 __all__ = [
     "Finding",

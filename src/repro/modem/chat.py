@@ -7,9 +7,10 @@ that primitive as a simulation generator (``yield from chat(...)``).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.modem.serial import SerialPort
+from repro.sim.process import TIMEOUT
 
 #: Result codes that end one command's response.
 _TERMINAL_PREFIXES = (
@@ -22,13 +23,21 @@ _TERMINAL_PREFIXES = (
     "+CME ERROR",
 )
 
+#: Synthetic terminal when the modem stays silent past the deadline
+#: (never on the wire; produced by :func:`chat` itself).
+CHAT_TIMEOUT = "TIMEOUT"
+
+#: Per-read deadline the dial-up tools use.  Generous: the slowest
+#: legitimate response (dial delay + escape guard) is well under it.
+DEFAULT_CHAT_TIMEOUT = 10.0
+
 
 def is_terminal(line: str) -> bool:
     """Whether a response line ends the command."""
     return line.startswith(_TERMINAL_PREFIXES)
 
 
-def chat(port: SerialPort, command: str):
+def chat(port: SerialPort, command: str, timeout: Optional[float] = None):
     """Send ``command``; gather lines until a result code.
 
     A generator for use inside simulation processes::
@@ -37,12 +46,17 @@ def chat(port: SerialPort, command: str):
 
     Returns ``(terminal_line, info_lines)``.  Command echo (if the
     modem has ATE1 set) is skipped; non-string items (stray data-mode
-    frames) are ignored.
+    frames, fault-garbled lines) are ignored.  With ``timeout`` set,
+    a read that stays silent that long ends the chat with the
+    :data:`CHAT_TIMEOUT` terminal — what a real chat script's abort
+    timer does when a response was lost on the line.
     """
     port.write(command)
     info: List[str] = []
     while True:
-        item = yield port.read()
+        item = yield port.read(timeout)
+        if item is TIMEOUT:
+            return CHAT_TIMEOUT, info
         if not isinstance(item, str):
             continue
         line = item.strip()

@@ -159,7 +159,7 @@ class Modem3G:
         elif upper.startswith("AT+CPIN="):
             yield from self._enter_pin(line)
         elif upper == "AT+CREG?":
-            self._respond(f"+CREG: 0,{int(self.registration)}", "OK")
+            self._respond(*self._registration_response())
         elif upper == "AT+CSQ":
             yield from self._signal_quality()
         elif upper == "AT+COPS?":
@@ -173,6 +173,19 @@ class Modem3G:
             self._respond("OK")
         else:
             self._respond("ERROR")
+
+    def _registration_response(self):
+        """Response lines for ``AT+CREG?``, honouring any active fault."""
+        faults = self.sim.faults
+        if faults is not None:
+            spec = faults.fire("registration", "cme_error", "denied", "searching")
+            if spec is not None:
+                if spec.mode == "cme_error":
+                    return ("+CME ERROR: no network service",)
+                if spec.mode == "denied":
+                    return (f"+CREG: 0,{int(RegistrationStatus.DENIED)}", "OK")
+                return (f"+CREG: 0,{int(RegistrationStatus.SEARCHING)}", "OK")
+        return (f"+CREG: 0,{int(self.registration)}", "OK")
 
     def _reset(self):
         self._hangup("reset")
@@ -230,6 +243,12 @@ class Modem3G:
             self._respond("+CME ERROR: SIM PIN required")
             return
         if self.network is None or not self._registered():
+            yield 0.5
+            self._respond("NO CARRIER")
+            return
+        faults = self.sim.faults
+        if faults is not None and faults.fire("dial", "no_carrier"):
+            # PDP activation rejected before any bearer came up.
             yield 0.5
             self._respond("NO CARRIER")
             return

@@ -9,8 +9,9 @@ logic readable without changing any behaviour the experiments see.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
+from repro.faults.plan import Garbled
 from repro.sim.engine import Simulator
 from repro.sim.process import Store, StoreGet
 
@@ -29,6 +30,8 @@ class SerialPort:
         self._to_host = Store(sim, f"{name}.in")
         self.host_writes = 0
         self.modem_writes = 0
+        self.dropped_items = 0
+        self.garbled_items = 0
 
     # -- host side ------------------------------------------------------
 
@@ -37,9 +40,14 @@ class SerialPort:
         self.host_writes += 1
         self._to_modem.put(item)
 
-    def read(self) -> StoreGet:
-        """Yieldable token resolving to the next modem → host item."""
-        return self._to_host.get()
+    def read(self, timeout: Optional[float] = None) -> StoreGet:
+        """Yieldable token resolving to the next modem → host item.
+
+        With ``timeout`` the yield resumes with the
+        :data:`~repro.sim.process.TIMEOUT` sentinel when the line stays
+        silent that long (how chat scripts survive a dead modem).
+        """
+        return self._to_host.get(timeout)
 
     def read_available(self) -> int:
         """Items waiting for the host."""
@@ -49,6 +57,15 @@ class SerialPort:
 
     def _modem_write(self, item: Any) -> None:
         self.modem_writes += 1
+        faults = self.sim.faults
+        if faults is not None:
+            spec = faults.fire("serial", "drop", "garble")
+            if spec is not None:
+                if spec.mode == "drop":
+                    self.dropped_items += 1
+                    return
+                self.garbled_items += 1
+                item = Garbled(item)
         self._to_host.put(item)
 
     def _modem_read(self) -> StoreGet:

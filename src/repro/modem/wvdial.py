@@ -6,17 +6,23 @@ line is in data mode and pppd takes over.  :class:`SerialPppTransport`
 is that takeover: it adapts the host side of the serial port to the
 frame-transport interface :class:`~repro.ppp.daemon.Pppd` expects, and
 surfaces "NO CARRIER" as a carrier-lost event.
+
+Fault surface: outbound LCP/IPCP frames consult the ``ppp`` injection
+point (Configure-Request loss, IPCP stall), and inbound
+:class:`~repro.faults.plan.Garbled` items are counted and dropped —
+the HDLC FCS would have rejected them on a real line.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.modem.chat import chat
+from repro.faults.plan import Garbled
+from repro.modem.chat import DEFAULT_CHAT_TIMEOUT, chat
 from repro.modem.serial import SerialPort
-from repro.ppp.frame import PPPFrame
+from repro.ppp.frame import PPP_IPCP, PPP_LCP, PPPFrame
 from repro.sim.engine import Simulator
-from repro.sim.process import Process, spawn
+from repro.sim.process import TIMEOUT, Process, spawn
 
 
 class Wvdial:
@@ -28,11 +34,13 @@ class Wvdial:
         apn: str,
         phone: str = "*99#",
         init_commands: Optional[List[str]] = None,
+        command_timeout: float = DEFAULT_CHAT_TIMEOUT,
     ):
         self.port = port
         self.apn = apn
         self.phone = phone
         self.init_commands = list(init_commands or [])
+        self.command_timeout = command_timeout
 
     def run(self):
         """The dial sequence.  Generator returning (code, lines).
@@ -56,22 +64,34 @@ class Wvdial:
     def _script(self):
         setup = ["ATZ", f'AT+CGDCONT=1,"IP","{self.apn}"'] + self.init_commands
         for command in setup:
-            terminal, _ = yield from chat(self.port, command)
+            terminal, _ = yield from chat(
+                self.port, command, timeout=self.command_timeout
+            )
             if terminal != "OK":
                 return 1, [f"wvdial: {command} failed ({terminal})"]
-        terminal, _ = yield from chat(self.port, f"ATD{self.phone}")
+        terminal, _ = yield from chat(
+            self.port, f"ATD{self.phone}", timeout=self.command_timeout
+        )
         if terminal.startswith("CONNECT"):
             return 0, [f"wvdial: carrier acquired ({terminal})"]
         return 1, [f"wvdial: dial failed ({terminal})"]
 
     def hangup(self):
-        """Escape to command mode and hang up.  Generator returning (code, lines)."""
+        """Escape to command mode and hang up.  Generator returning (code, lines).
+
+        Robust to the modem already being in command mode (a failed
+        negotiation, carrier already lost): "+++" then answers ERROR
+        instead of OK, and a line that has gone completely silent runs
+        into the per-read deadline rather than blocking forever.
+        """
         self.port.write("+++")
         while True:
-            item = yield self.port.read()
-            if isinstance(item, str) and item.strip() == "OK":
+            item = yield self.port.read(self.command_timeout)
+            if item is TIMEOUT:
                 break
-        terminal, _ = yield from chat(self.port, "ATH")
+            if isinstance(item, str) and item.strip() in ("OK", "ERROR"):
+                break
+        terminal, _ = yield from chat(self.port, "ATH", timeout=self.command_timeout)
         if terminal == "OK":
             return 0, ["wvdial: disconnected"]
         return 1, [f"wvdial: hangup failed ({terminal})"]
@@ -92,6 +112,8 @@ class SerialPppTransport:
         self._receiver: Optional[Callable[[PPPFrame], None]] = None
         self.frames_sent = 0
         self.frames_received = 0
+        self.frames_dropped = 0
+        self.frames_garbled = 0
         self._reader: Process = spawn(sim, self._read_loop(), name=f"ppp-tty:{port.name}")
 
     def set_receiver(self, callback: Callable[[PPPFrame], None]) -> None:
@@ -100,6 +122,16 @@ class SerialPppTransport:
 
     def send_frame(self, frame: PPPFrame) -> None:
         """pppd → modem."""
+        faults = self.sim.faults
+        if faults is not None:
+            mode: Optional[str] = None
+            if frame.protocol == PPP_LCP:
+                mode = "lcp_drop"
+            elif frame.protocol == PPP_IPCP:
+                mode = "ipcp_stall"
+            if mode is not None and faults.fire("ppp", mode):
+                self.frames_dropped += 1
+                return
         self.frames_sent += 1
         self.port.write(frame)
 
@@ -114,6 +146,9 @@ class SerialPppTransport:
                 self.frames_received += 1
                 if self._receiver is not None:
                     self._receiver(item)
+            elif isinstance(item, Garbled):
+                # Failed the HDLC frame check; count and discard.
+                self.frames_garbled += 1
             elif isinstance(item, str) and item.strip() == "NO CARRIER":
                 if self.on_carrier_lost is not None:
                     self.on_carrier_lost()

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, NamedTuple, Optional
 
+from repro.core.retry import RetryPolicy
 from repro.net.addressing import AddressLike, IPv4Address, ip
 from repro.net.errors import NetworkError
 from repro.net.socket import UDPSocket
@@ -124,10 +125,18 @@ class DnsResolver:
 
     def resolve(self, name: str) -> Process:
         """Start one resolution; returns the process."""
+        # The classic resolver schedule: constant spacing, no backoff
+        # (the per-query timeout already paces the attempts).
+        policy = RetryPolicy(
+            max_attempts=self.retries + 1,
+            base_delay=self.timeout,
+            multiplier=1.0,
+            max_delay=self.timeout,
+        )
 
         def body():
             last_error = "no attempts made"
-            for _attempt in range(self.retries + 1):
+            for attempt in policy.attempts():
                 qid = next(_query_ids)
                 answered = Signal(self.sim, f"dns-{qid}")
                 self._waiting[qid] = answered
@@ -136,7 +145,7 @@ class DnsResolver:
                 except NetworkError as exc:
                     self._waiting.pop(qid, None)
                     last_error = f"send failed: {exc}"
-                    yield self.timeout
+                    yield policy.delay(attempt)
                     continue
                 self.sent_queries += 1
                 timer = self.sim.schedule(self.timeout, answered.fire, None)

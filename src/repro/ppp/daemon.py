@@ -91,6 +91,7 @@ class Pppd:
         self._echo_timer: Optional[Event] = None
         self.on_up_cb = on_up
         self.on_down_cb = on_down
+        self.malformed_frames = 0
         self.iface: Optional[PPPInterface] = None
         #: fired with the interface when the session reaches data phase.
         self.up = Signal(sim, f"{self.ifname}.up")
@@ -158,6 +159,19 @@ class Pppd:
 
     def receive_frame(self, frame: PPPFrame) -> None:
         """Inbound frame from the transport."""
+        if frame.protocol in (PPP_LCP, PPP_IPCP) and not isinstance(
+            frame.payload, ControlPacket
+        ):
+            # A control frame whose payload did not survive the line.
+            # Real pppd drops what fails the parse; crashing the FSMs
+            # on line noise would be the un-typed failure mode.
+            self.malformed_frames += 1
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    "ppp.malformed_frame", ifname=self.ifname, proto=frame.protocol
+                )
+            return
         if frame.protocol == PPP_LCP:
             from repro.ppp.frame import ECHO_REP
 

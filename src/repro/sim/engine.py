@@ -97,6 +97,10 @@ class Simulator:
         self.metrics: Optional[Any] = None
         #: optional ``callback(event, wall_seconds)`` run after each dispatch.
         self.on_dispatch: Optional[Callable[[Event, float], None]] = None
+        #: optional :class:`~repro.faults.FaultRegistry`; injection
+        #: points check this before consulting fault plans, so ``None``
+        #: keeps unfaulted runs bit-identical.
+        self.faults: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -11,7 +11,9 @@ A *process* is a Python generator driven by the simulator.  Each
     expression evaluates to ``value``;
 
 ``yield store.get()``
-    block until an item is available in a :class:`Store` (FIFO).
+    block until an item is available in a :class:`Store` (FIFO);
+    ``store.get(timeout=5.0)`` resumes with the :data:`TIMEOUT`
+    sentinel instead if nothing arrives within 5 simulated seconds.
 
 Processes can be interrupted with :meth:`Process.interrupt`, which
 raises :class:`Interrupt` inside the generator at its current yield
@@ -26,6 +28,20 @@ from typing import Any, Callable, Deque, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.errors import SimulationError
+
+
+class _Timeout:
+    """Type of the :data:`TIMEOUT` sentinel."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<TIMEOUT>"
+
+
+#: Value a timed :meth:`Store.get` resumes with when the deadline
+#: passes before an item arrives.  Compare with ``is``.
+TIMEOUT = _Timeout()
 
 
 class Interrupt(Exception):
@@ -82,8 +98,9 @@ class Signal:
 class StoreGet:
     """Handle returned by :meth:`Store.get`; yielded by a process."""
 
-    def __init__(self, store: "Store") -> None:
+    def __init__(self, store: "Store", timeout: Optional[float] = None) -> None:
         self.store = store
+        self.timeout = timeout
 
 
 class Store:
@@ -117,9 +134,18 @@ class Store:
         except ValueError:
             pass
 
-    def get(self) -> StoreGet:
-        """Return a token to yield on; resolves to the next item."""
-        return StoreGet(self)
+    def _requeue(self, item: Any) -> None:
+        """Put a popped-but-undelivered item back at the head (FIFO safe:
+        only the head item can be in this state)."""
+        self._items.appendleft(item)
+
+    def get(self, timeout: Optional[float] = None) -> StoreGet:
+        """Return a token to yield on; resolves to the next item.
+
+        With ``timeout`` the yield resumes with :data:`TIMEOUT` if no
+        item arrives within that many simulated seconds.
+        """
+        return StoreGet(self, timeout)
 
     def get_nowait(self) -> Any:
         """Pop the next item immediately, or raise ``IndexError``."""
@@ -152,6 +178,7 @@ class Process:
         self._waiting_signal: Optional[Signal] = None
         self._signal_callback: Optional[Callable[[Any], None]] = None
         self._waiting_store: Optional[Store] = None
+        self._store_callback: Optional[Callable[[Any], None]] = None
         self._sim.schedule(0.0, self._resume, None)
 
     def interrupt(self, cause: Any = None) -> None:
@@ -174,10 +201,11 @@ class Process:
         if self._waiting_signal is not None and self._signal_callback is not None:
             self._waiting_signal.unwait(self._signal_callback)
         if self._waiting_store is not None:
-            self._waiting_store._remove_getter(self._resume)
+            self._waiting_store._remove_getter(self._store_callback or self._resume)
             self._waiting_store = None
         self._waiting_signal = None
         self._signal_callback = None
+        self._store_callback = None
 
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
@@ -199,6 +227,7 @@ class Process:
         self._waiting_signal = None
         self._signal_callback = None
         self._waiting_store = None
+        self._store_callback = None
         try:
             yielded = self._gen.send(value)
         except StopIteration as stop:
@@ -219,8 +248,7 @@ class Process:
             self._signal_callback = self._resume
             yielded.wait(self._resume)
         elif isinstance(yielded, StoreGet):
-            self._waiting_store = yielded.store
-            yielded.store._register_getter(self._resume)
+            self._wait_store(yielded)
         elif isinstance(yielded, Process):
             if yielded.alive:
                 self._waiting_signal = yielded.done
@@ -230,6 +258,41 @@ class Process:
                 self._pending_event = self._sim.schedule(0.0, self._resume, yielded.value)
         else:
             raise SimulationError(f"process {self.name!r} yielded unsupported {yielded!r}")
+
+    def _wait_store(self, token: StoreGet) -> None:
+        """Block on a store, optionally racing a timeout timer.
+
+        Exactly one of the two closures settles the wait; the loser
+        cleans up after itself (the timer is cancelled, or a same-instant
+        delivery is requeued at the store head), so the process is never
+        resumed twice.
+        """
+        store = token.store
+        settled = [False]
+
+        def on_item(item: Any) -> None:
+            if settled[0]:
+                store._requeue(item)
+                return
+            settled[0] = True
+            if self._pending_event is not None:
+                self._pending_event.cancel()
+                self._pending_event = None
+            self._resume(item)
+
+        def on_timeout() -> None:
+            if settled[0]:
+                return
+            settled[0] = True
+            self._pending_event = None
+            store._remove_getter(on_item)
+            self._resume(TIMEOUT)
+
+        self._waiting_store = store
+        self._store_callback = on_item
+        store._register_getter(on_item)
+        if token.timeout is not None:
+            self._pending_event = self._sim.schedule(token.timeout, on_timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"

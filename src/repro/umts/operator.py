@@ -149,6 +149,14 @@ class UmtsOperator:
             raise UmtsError(f"unknown APN {apn!r} (operator serves {self.apn!r})")
         if len(self.calls) >= self.max_sessions:
             raise UmtsError("operator session capacity reached")
+        faults = self.sim.faults
+        if faults is not None:
+            # Triggered session faults (GGSN drop, RAB preemption) are
+            # delivered to us whenever they activate; refusal happens
+            # right here, before any bearer resources are committed.
+            faults.subscribe("session", self._session_fault)
+            if faults.fire("session", "refuse"):
+                raise UmtsError("PDP context activation refused by network")
         address = self.ggsn.pool.allocate()
         session = next(self._session_ids)
         rng_up = self.streams.stream(f"{self.name}.uplink.{session}")
@@ -213,6 +221,24 @@ class UmtsOperator:
         """Network-initiated teardown (failure injection in tests)."""
         call.network_drop(reason)
         self.close_data_call(call, reason)
+
+    def _session_fault(self, spec) -> bool:
+        """Apply one triggered ``session`` fault to the oldest live call.
+
+        Returns False (leaving the trigger pending) when no call is up
+        yet — a mid-call fault scheduled before the dial completed waits
+        for the session it is meant to kill.
+        """
+        if not self.calls:
+            return False
+        call = self.calls[0]
+        if spec.mode == "drop":
+            self.drop_call(call, spec.params.get("reason", "GGSN dropped session"))
+            return True
+        if spec.mode == "rab_preempt":
+            call.rab.preempt()
+            return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<UmtsOperator {self.name!r} sessions={len(self.calls)}>"

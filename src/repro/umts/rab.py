@@ -169,5 +169,25 @@ class RabController:
         self._idle = 0.0
         self.grade_history.add(self.sim.now, self.current_rate)
 
+    def preempt(self) -> None:
+        """RNC-initiated preemption: drop to the *lowest* grade.
+
+        Models higher-priority traffic (voice) claiming the cell's
+        dedicated-channel budget.  Any pending upgrade grant is revoked
+        and demand accounting restarts from scratch; the adaptation
+        loop may climb back up later if the load persists.
+        """
+        if self._stopped:
+            return
+        if self._pending_grant is not None:
+            self._pending_grant.cancel()
+            self._pending_grant = None
+        self.grade_index = 0
+        self.channel.rate_bps = self.current_rate
+        self.downgrades += 1
+        self._sustained = 0.0
+        self._idle = 0.0
+        self.grade_history.add(self.sim.now, self.current_rate)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RabController grade={self.current_rate:.0f}bps>"

@@ -6,6 +6,7 @@ import inspect
 import shlex
 from typing import Any, Callable, Dict, Generator, List, NamedTuple, Sequence, Set
 
+from repro.faults.errors import VsysProtocolError
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
 from repro.vsys.pipes import EOF, FifoPair
@@ -67,10 +68,15 @@ class VsysConnection:
         def frontend() -> Generator[Any, Any, VsysResult]:
             self._busy = True
             try:
-                self.pipe.to_backend.put(line)
+                self.pipe.send_request(line)
                 lines: List[str] = []
                 while True:
                     item = yield self.pipe.to_frontend.get()
+                    if item is EOF:
+                        # The pair was torn down under us; surface a
+                        # clean failure instead of waiting forever.
+                        lines.append("vsys: connection closed")
+                        return VsysResult(1, lines)
                     if isinstance(item, tuple) and item[0] == _EXIT_SENTINEL:
                         return VsysResult(item[1], lines)
                     lines.append(item)
@@ -172,9 +178,9 @@ class VsysDaemon:
             if line is EOF:
                 return
             try:
-                argv = shlex.split(line)
-            except ValueError as exc:
-                pipe.to_frontend.put(f"vsys: unparsable request: {exc}")
+                argv = _parse_request(line)
+            except VsysProtocolError as exc:
+                pipe.send_response(f"vsys: unparsable request: {exc}")
                 pipe.to_frontend.put((_EXIT_SENTINEL, 1))
                 continue
             trace = self._sim.trace
@@ -202,5 +208,21 @@ class VsysDaemon:
                     self._sim.now - started_at
                 )
             for out_line in lines:
-                pipe.to_frontend.put(out_line)
+                pipe.send_response(out_line)
             pipe.to_frontend.put((_EXIT_SENTINEL, code))
+
+
+def _parse_request(line: Any) -> List[str]:
+    """Split one request line into argv, or raise a *typed* error.
+
+    A truncated FIFO write can land mid-token (an unbalanced quote) or
+    deliver something that is not a line at all; both used to bubble up
+    as bare ``ValueError``/``AttributeError`` from :func:`shlex.split`.
+    The retry layer classifies :class:`VsysProtocolError` as transient.
+    """
+    if not isinstance(line, str):
+        raise VsysProtocolError(f"expected a request line, got {type(line).__name__}")
+    try:
+        return shlex.split(line)
+    except ValueError as exc:
+        raise VsysProtocolError(str(exc)) from exc

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.sim.engine import Simulator
 from repro.sim.process import Store
 
@@ -16,16 +18,45 @@ class FifoPair:
     ``to_frontend`` carries response lines written by the back-end.
     Real vsys materializes these as ``/vsys/<script>.in`` and
     ``.out`` FIFOs inside the slice's filesystem.
+
+    Writes go through :meth:`send_request` / :meth:`send_response`,
+    which consult the ``vsys`` fault point: a request line can arrive
+    truncated (the short-write hazard of a real FIFO), a response line
+    can be lost.  Only *string* lines are faultable — the exit sentinel
+    and EOF are control-plane objects whose loss would model a kernel
+    bug, not an I/O hazard, and would wedge the peer forever.
     """
 
     def __init__(self, sim: Simulator, name: str = ""):
+        self._sim = sim
         self.name = name
         self.to_backend = Store(sim, f"{name}.in")
         self.to_frontend = Store(sim, f"{name}.out")
         self.closed = False
+        self.truncated_requests = 0
+        self.dropped_responses = 0
+
+    def send_request(self, line: Any) -> None:
+        """Front-end → back-end, through the fault layer."""
+        if isinstance(line, str):
+            faults = self._sim.faults
+            if faults is not None and faults.fire("vsys", "truncate_request"):
+                self.truncated_requests += 1
+                line = line[: max(1, len(line) // 2)]
+        self.to_backend.put(line)
+
+    def send_response(self, item: Any) -> None:
+        """Back-end → front-end, through the fault layer."""
+        if isinstance(item, str):
+            faults = self._sim.faults
+            if faults is not None and faults.fire("vsys", "drop_response"):
+                self.dropped_responses += 1
+                return
+        self.to_frontend.put(item)
 
     def close(self) -> None:
-        """Close the pair: the back-end sees EOF and exits."""
+        """Close the pair: both endpoints see EOF and exit."""
         if not self.closed:
             self.closed = True
             self.to_backend.put(EOF)
+            self.to_frontend.put(EOF)

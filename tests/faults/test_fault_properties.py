@@ -1,0 +1,82 @@
+"""Property tests: arbitrary fault plans never wedge or dirty the node.
+
+Whatever combination of faults a plan throws at the stack, two
+invariants must hold at the end of the run:
+
+- **liveness** — the ``umts start``/``status``/``stop`` driver finishes
+  before the deadline (every layer owns a timeout or an attempt
+  budget, so no fault can hang the slice tool);
+- **exclusivity/cleanliness** — the interface lock, the isolation
+  rules, ``ppp0`` and the UMTS routing table are either all live (the
+  connection is up) or all released (it is down).  No fault may leak
+  state past its scenario.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isolation import UMTS_TABLE
+from repro.faults.plan import CATALOG, FaultPlan, FaultSpec
+from repro.sim.process import spawn
+from repro.testbed.scenarios import OneLabScenario
+
+#: Every (point, mode) pair in the catalog, in a stable order.
+PAIRS = sorted((point, mode) for point, modes in CATALOG.items() for mode in modes)
+
+
+@st.composite
+def fault_specs(draw):
+    point, mode = draw(st.sampled_from(PAIRS))
+    at = draw(st.integers(min_value=0, max_value=80)) / 2.0
+    count = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=3)))
+    duration = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=60)))
+    probability = draw(st.one_of(st.none(), st.floats(min_value=0.2, max_value=1.0)))
+    return FaultSpec(
+        point,
+        mode,
+        at=at,
+        duration=None if duration is None else float(duration),
+        count=count,
+        probability=probability,
+    )
+
+
+@given(
+    specs=st.lists(fault_specs(), max_size=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_plan_finishes_and_leaks_nothing(specs, seed):
+    testbed = OneLabScenario(seed=seed)
+    sim = testbed.sim
+    FaultPlan(specs).install(sim, rng=testbed.streams.stream("faults"))
+    umts = testbed.umts_command()
+    finished = []
+
+    def driver():
+        yield umts.start()
+        yield 60.0
+        yield umts.status()
+        if testbed.napoli.connection.is_up:
+            yield umts.stop()
+        finished.append(True)
+
+    spawn(sim, driver(), name="property-driver")
+    sim.run(until=900.0)
+
+    # Liveness: no fault combination may wedge the driver.
+    assert finished, f"driver hung under plan {[str(s) for s in specs]}"
+
+    backend = testbed.napoli.umts_backend
+    stack = testbed.napoli.stack
+    connection = testbed.napoli.connection
+    plan_text = [str(s) for s in specs]
+    if connection.is_up:
+        # Slice exclusivity: a live connection holds the lock.
+        assert backend.lock.locked, f"up but unlocked under {plan_text}"
+    else:
+        # Nothing may leak once the connection is down.
+        assert not backend.lock.locked, f"stale lock under {plan_text}"
+        assert not backend.isolation.active, f"stale isolation under {plan_text}"
+        assert "ppp0" not in stack.interfaces, f"stale ppp0 under {plan_text}"
+        assert stack.ip.route_list(UMTS_TABLE) == [], f"stale routes under {plan_text}"

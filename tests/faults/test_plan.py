@@ -1,0 +1,193 @@
+"""The fault-plan grammar and the live registry semantics."""
+
+import pytest
+
+from repro.faults import (
+    CATALOG,
+    FaultPlan,
+    FaultRegistry,
+    FaultSpec,
+    FaultSpecError,
+    Garbled,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class TestSpecGrammar:
+    def test_full_spec_parses(self):
+        plan = FaultPlan.from_spec("registration:cme_error@t=2.0,count=2")
+        (spec,) = plan.specs
+        assert spec.point == "registration"
+        assert spec.mode == "cme_error"
+        assert spec.at == 2.0
+        assert spec.count == 2
+        assert spec.duration is None
+        assert spec.probability is None
+
+    def test_defaults(self):
+        (spec,) = FaultPlan.from_spec("serial:drop").specs
+        assert spec.at == 0.0
+        assert spec.duration is None
+        assert spec.count is None
+        assert spec.key == "serial:drop"
+
+    def test_window_probability_and_params(self):
+        (spec,) = FaultPlan.from_spec(
+            "session:drop@t=40,for=10,p=0.5,reason=idle timer"
+        ).specs
+        assert spec.duration == 10.0
+        assert spec.probability == 0.5
+        assert spec.params == {"reason": "idle timer"}
+
+    def test_str_round_trips(self):
+        for text in (
+            "serial:drop@t=0",
+            "registration:cme_error@t=2,count=2",
+            "ppp:lcp_drop@t=1.5,for=15",
+            "session:drop@t=40,p=0.25,reason=ggsn",
+        ):
+            (spec,) = FaultPlan.from_spec(text).specs
+            (reparsed,) = FaultPlan.from_spec(str(spec)).specs
+            assert reparsed == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "serial",  # no mode
+            ":drop",  # no point
+            "serial:",  # empty mode
+            "nosuch:drop",  # unknown point
+            "serial:explode",  # unknown mode for the point
+            "serial:drop@t",  # key without value
+            "serial:drop@t=abc",  # unparsable float
+            "serial:drop@t=-1",  # negative activation time
+            "serial:drop@for=-5",  # negative window
+            "serial:drop@count=0",  # count below 1
+            "serial:drop@p=0",  # probability outside (0, 1]
+            "serial:drop@p=1.5",
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_spec(bad)
+
+    def test_catalog_is_the_whole_vocabulary(self):
+        for point, modes in CATALOG.items():
+            for mode in modes:
+                FaultSpec(point, mode)  # every pair constructs
+
+    def test_triggered_classification(self):
+        assert FaultSpec("session", "drop").triggered
+        assert FaultSpec("session", "rab_preempt").triggered
+        assert not FaultSpec("session", "refuse").triggered
+        assert not FaultSpec("serial", "drop").triggered
+
+    def test_active_window(self):
+        spec = FaultSpec("serial", "drop", at=5.0, duration=10.0)
+        assert not spec.active_at(4.9)
+        assert spec.active_at(5.0)
+        assert spec.active_at(15.0)
+        assert not spec.active_at(15.1)
+
+
+class TestRegistryFire:
+    def test_count_consumes_then_exhausts(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("serial:drop@t=0,count=2").install(sim)
+        assert sim.faults is registry
+        assert registry.fire("serial", "drop") is not None
+        assert registry.fire("serial", "drop") is not None
+        assert registry.fire("serial", "drop") is None
+        assert registry.fired == {"serial:drop": 2}
+        assert registry.fired_total("serial") == 2
+
+    def test_mode_filter_and_any_mode(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("serial:garble@t=0,count=1").install(sim)
+        assert registry.fire("serial", "drop") is None
+        spec = registry.fire("serial", "drop", "garble")
+        assert spec is not None and spec.mode == "garble"
+
+    def test_window_gates_firing(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("serial:drop@t=10,for=5").install(sim)
+        assert registry.fire("serial", "drop") is None  # too early (t=0)
+        sim.schedule(12.0, lambda: None)
+        sim.run(until=12.0)
+        assert registry.fire("serial", "drop") is not None
+        sim.schedule(20.0, lambda: None)
+        sim.run(until=20.0)
+        assert registry.fire("serial", "drop") is None  # window closed
+
+    def test_probability_needs_rng_at_install(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_spec("serial:drop@p=0.5").install(Simulator())
+
+    def test_probability_draws_are_seed_deterministic(self):
+        def outcomes(seed):
+            sim = Simulator()
+            rng = RandomStreams(seed).stream("faults")
+            registry = FaultPlan.from_spec("serial:drop@p=0.5").install(sim, rng=rng)
+            return [registry.fire("serial", "drop") is not None for _ in range(32)]
+
+        assert outcomes(7) == outcomes(7)
+        assert any(outcomes(7))
+        assert not all(outcomes(7))
+
+
+class TestTriggeredDelivery:
+    def test_handler_consumes_activated_trigger(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("session:drop@t=5").install(sim)
+        seen = []
+        registry.subscribe("session", lambda spec: (seen.append(spec), True)[1])
+        sim.run(until=10.0)
+        assert len(seen) == 1
+        assert registry.fired == {"session:drop": 1}
+
+    def test_late_subscriber_gets_pending_trigger(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("session:drop@t=1").install(sim)
+        sim.run(until=5.0)  # activates with nobody listening
+        seen = []
+        registry.subscribe("session", lambda spec: (seen.append(spec), True)[1])
+        sim.run(until=6.0)
+        assert len(seen) == 1
+
+    def test_declining_handler_leaves_trigger_pending(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("session:drop@t=1").install(sim)
+        registry.subscribe("session", lambda spec: False)
+        sim.run(until=2.0)
+        assert registry.fired == {}
+        taken = []
+        registry.subscribe("session", lambda spec: (taken.append(spec), True)[1])
+        sim.run(until=3.0)
+        assert len(taken) == 1
+        assert registry.fired == {"session:drop": 1}
+
+    def test_subscribe_is_idempotent(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("session:drop@t=1").install(sim)
+        seen = []
+
+        def handler(spec):
+            seen.append(spec)
+            return True
+
+        registry.subscribe("session", handler)
+        registry.subscribe("session", handler)
+        sim.run(until=2.0)
+        assert len(seen) == 1
+
+    def test_triggered_spec_never_fires_passively(self):
+        sim = Simulator()
+        registry = FaultPlan.from_spec("session:drop@t=0").install(sim)
+        assert registry.fire("session", "drop") is None
+
+
+class TestGarbled:
+    def test_wraps_original(self):
+        wrapped = Garbled("OK")
+        assert wrapped.original == "OK"

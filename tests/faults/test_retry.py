@@ -1,0 +1,85 @@
+"""RetryPolicy arithmetic, jitter determinism, and failure classification."""
+
+import pytest
+
+from repro.core.retry import (
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    classify_comgt,
+    classify_wvdial,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestPolicyMath:
+    def test_exponential_schedule_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=2.0, multiplier=2.0, max_delay=10.0)
+        assert [policy.delay(a) for a in range(5)] == [2.0, 4.0, 8.0, 10.0, 10.0]
+
+    def test_constant_schedule(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=2.0, multiplier=1.0, max_delay=2.0)
+        assert policy.delays() == [2.0, 2.0]
+
+    def test_attempts_and_is_last(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert list(policy.attempts()) == [0, 1, 2]
+        assert [policy.is_last(a) for a in policy.attempts()] == [False, False, True]
+
+    def test_delays_has_one_entry_per_backoff(self):
+        assert RetryPolicy(max_attempts=1).delays() == []
+        assert len(RetryPolicy(max_attempts=4).delays()) == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestJitter:
+    POLICY = RetryPolicy(max_attempts=4, base_delay=2.0, multiplier=2.0, jitter=0.25)
+
+    def test_no_rng_no_jitter(self):
+        # The unfaulted happy path must not consume RNG draws.
+        assert self.POLICY.delay(0) == 2.0
+        assert self.POLICY.delays() == [2.0, 4.0, 8.0]
+
+    def test_jitter_bounds(self):
+        rng = RandomStreams(11).stream("retry")
+        for attempt in range(3):
+            base = RetryPolicy(max_attempts=4, base_delay=2.0, multiplier=2.0).delay(attempt)
+            jittered = self.POLICY.delay(attempt, rng)
+            assert base <= jittered <= base * 1.25
+
+    def test_jitter_is_seed_deterministic(self):
+        first = self.POLICY.delays(RandomStreams(11).stream("retry"))
+        second = self.POLICY.delays(RandomStreams(11).stream("retry"))
+        other = self.POLICY.delays(RandomStreams(12).stream("retry"))
+        assert first == second
+        assert first != other
+
+
+class TestClassification:
+    def test_comgt_permanent_markers(self):
+        assert classify_comgt(["registration denied"]) == PERMANENT
+        assert classify_comgt(["SIM PIN required"]) == PERMANENT
+        assert classify_comgt(["PIN rejected"]) == PERMANENT
+
+    def test_comgt_transient_by_default(self):
+        assert classify_comgt(["+CME ERROR: no network service"]) == TRANSIENT
+        assert classify_comgt(["comgt: timeout waiting for response"]) == TRANSIENT
+        assert classify_comgt([]) == TRANSIENT
+
+    def test_wvdial_classification(self):
+        assert classify_wvdial(["wvdial: modem reports SIM PIN"]) == PERMANENT
+        assert classify_wvdial(["NO CARRIER"]) == TRANSIENT
+        assert classify_wvdial(["pppd: LCP negotiation failed"]) == TRANSIENT

@@ -1,0 +1,114 @@
+"""ConnectionSupervisor: heal, stand down on purpose, give up on budget."""
+
+from repro.core.retry import RetryPolicy
+from repro.core.supervisor import ConnectionSupervisor
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+FAST = RetryPolicy(max_attempts=2, base_delay=1.0, multiplier=2.0, max_delay=10.0)
+
+
+class FakeConnection:
+    """Just enough connection: the ``went_down`` signal."""
+
+    def __init__(self, sim):
+        self.went_down = Signal(sim, "went-down")
+
+
+def make_restart(codes, calls):
+    """A restart factory whose generator returns the next canned code."""
+
+    def restart():
+        calls.append(len(calls))
+        yield 0.0
+        code = codes[min(len(calls) - 1, len(codes) - 1)]
+        return (code, [])
+
+    return restart
+
+
+def test_heals_on_unexpected_down():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([0], calls), policy=FAST
+    )
+    connection.went_down.fire("carrier lost")
+    sim.run(until=30.0)
+    assert calls == [0]
+    assert supervisor.heals == 1
+    assert supervisor.gave_up == 0
+
+
+def test_deliberate_stop_is_ignored():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([0], calls), policy=FAST
+    )
+    connection.went_down.fire("umts stop")
+    sim.run(until=30.0)
+    assert calls == []
+    assert supervisor.heals == 0
+    # Still armed: a later unexpected death is handled.
+    connection.went_down.fire("carrier lost")
+    sim.run(until=60.0)
+    assert supervisor.heals == 1
+
+
+def test_gives_up_when_budget_spent():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([1], calls), policy=FAST
+    )
+    connection.went_down.fire("no coverage")
+    sim.run(until=60.0)
+    assert calls == [0, 1]  # exactly max_attempts restarts
+    assert supervisor.heals == 0
+    assert supervisor.gave_up == 1
+
+
+def test_retries_until_restart_sticks():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([1, 0], calls), policy=FAST
+    )
+    connection.went_down.fire("carrier lost")
+    sim.run(until=60.0)
+    assert calls == [0, 1]
+    assert supervisor.heals == 1
+    assert supervisor.gave_up == 0
+
+
+def test_stopped_supervisor_stays_down():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([0], calls), policy=FAST
+    )
+    supervisor.stop()
+    connection.went_down.fire("carrier lost")
+    sim.run(until=30.0)
+    assert calls == []
+    assert supervisor.heals == 0
+
+
+def test_no_double_heal_while_healing():
+    sim = Simulator()
+    connection = FakeConnection(sim)
+    calls = []
+    supervisor = ConnectionSupervisor(
+        sim, connection, make_restart([0], calls), policy=FAST
+    )
+    connection.went_down.fire("carrier lost")
+    connection.went_down.fire("carrier lost again")
+    sim.run(until=30.0)
+    assert calls == [0]
+    assert supervisor.heals == 1

@@ -1,0 +1,29 @@
+"""Fixture: hand-rolled retry loops (each attempt-named range() loop flags)."""
+
+
+def redial() -> int:
+    for attempt in range(3):  # line 5: retry-policy
+        if attempt:
+            return attempt
+    return -1
+
+
+def drain() -> int:
+    for retry in range(5):  # line 12: retry-policy
+        if retry > 3:
+            return retry
+    return -1
+
+
+def honest_iteration() -> int:
+    total = 0
+    for index in range(4):  # allowed: not an attempt counter
+        total += index
+    return total
+
+
+def over_data() -> int:
+    count = 0
+    for attempt in (1, 2, 3):  # allowed: not a range() loop
+        count += attempt
+    return count

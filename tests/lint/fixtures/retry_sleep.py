@@ -1,0 +1,16 @@
+"""Fixture: wall-clock retry pacing (both sleep calls must be flagged)."""
+
+import time
+from time import sleep
+
+
+def pace() -> None:
+    time.sleep(0.5)  # line 8: retry-policy
+
+
+def pace_aliased() -> None:
+    sleep(1.0)  # line 12: retry-policy (from-import still resolves)
+
+
+def excused() -> None:
+    time.sleep(2.0)  # lint: allow(retry-policy) -- fixture pragma check

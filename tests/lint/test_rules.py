@@ -92,6 +92,33 @@ class TestUntypedDef:
         assert 20 not in lines  # fully annotated def
 
 
+class TestRetryPolicy:
+    def test_flags_sleep_calls_including_from_import(self):
+        findings = findings_for("retry_sleep.py", "retry-policy")
+        assert locations(findings) == [(8, "retry-policy"), (12, "retry-policy")]
+        assert all("time.sleep()" in f.message for f in findings)
+
+    def test_sleep_pragma_is_exempt(self):
+        lines = [f.line for f in findings_for("retry_sleep.py", "retry-policy")]
+        assert 16 not in lines  # suppressed by # lint: allow(retry-policy)
+
+    def test_flags_attempt_named_range_loops(self):
+        findings = findings_for("retry_loop.py", "retry-policy")
+        assert locations(findings) == [(5, "retry-policy"), (12, "retry-policy")]
+        assert "'attempt'" in findings[0].message
+        assert "'retry'" in findings[1].message
+        assert all("RetryPolicy.attempts()" in f.message for f in findings)
+
+    def test_honest_loops_are_exempt(self):
+        lines = [f.line for f in findings_for("retry_loop.py", "retry-policy")]
+        assert 20 not in lines  # loop variable is not an attempt counter
+        assert 27 not in lines  # attempt-named, but not a range() loop
+
+    def test_retry_home_is_exempt(self):
+        retry_home = Path(__file__).parents[2] / "src" / "repro" / "core" / "retry.py"
+        assert lint_paths([retry_home], rule_ids=["retry-policy"]) == []
+
+
 class TestFsmExhaustive:
     def test_complete_table_is_clean(self):
         assert findings_for("fsm_complete.py", "fsm-exhaustive") == []

@@ -15,6 +15,8 @@ report through one code path.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench import BENCH_DURATION, BENCH_SEED, characterization_pair, time_once
@@ -22,6 +24,21 @@ from repro.bench import BENCH_DURATION, BENCH_SEED, characterization_pair, time_
 #: One seed for the headline runs (repeatability is its own bench).
 SEED = BENCH_SEED
 DURATION = BENCH_DURATION
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "4")),
+        help="worker processes for campaign benches (env REPRO_JOBS)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_jobs(pytestconfig):
+    """The -j the campaign benches shard across."""
+    return pytestconfig.getoption("--repro-jobs")
 
 
 def _session_pair(kind: str):

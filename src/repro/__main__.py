@@ -20,7 +20,14 @@ Five commands, mirroring the paper's narrative:
   strict packages (exit 1 on findings; see docs/STATIC_ANALYSIS.md);
 - ``chaos`` — the fault-injection campaign: every built-in scenario
   must recover or degrade cleanly, never hang, and (``--check``)
-  reproduce its recovery timeline bit-identically (see docs/FAULTS.md).
+  reproduce its recovery timeline bit-identically (see docs/FAULTS.md);
+- ``sweep`` — seed sweeps of the characterization experiments, sharded
+  across worker processes (``-j N``) with a deterministic merge and a
+  content-addressed result cache (see docs/PARALLEL.md).
+
+``bench``, ``chaos`` and ``sweep`` all run through the campaign runner
+(:mod:`repro.parallel`): ``-j N`` shards jobs across processes without
+changing a byte of the merged output.
 """
 
 from __future__ import annotations
@@ -133,6 +140,21 @@ def _cmd_saturation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace):
+    """The :class:`ResultCache` the campaign flags describe (or None)."""
+    if args.no_cache:
+        return None
+    from repro.parallel import ResultCache
+
+    return ResultCache(root=args.cache_dir)
+
+
+def _report_cache(args: argparse.Namespace, cache) -> None:
+    if not args.cache_stats:
+        return
+    print("cache: disabled" if cache is None else cache.stats.summary())
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         REGISTRY,
@@ -140,9 +162,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_result,
         load_baseline,
         result_payload,
-        run_scenario,
         save_baseline,
     )
+    from repro.bench.runner import BenchResult
+    from repro.parallel import bench_jobs, run_campaign
 
     if args.list:
         for scenario in REGISTRY.values():
@@ -154,11 +177,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    cache = _make_cache(args)
+    jobs = bench_jobs(names, repeats=args.repeats, warmup=args.warmup)
+    campaign = run_campaign(jobs, workers=args.jobs, cache=cache)
+    by_key = campaign.by_key()
     failures = 0
     for name in names:
         scenario = REGISTRY[name]
-        result = run_scenario(scenario, repeats=args.repeats, warmup=args.warmup)
+        job_result = by_key[f"bench:{name}"]
+        result = BenchResult(
+            name, list(job_result.volatile["times_s"]), job_result.stable["warmup"]
+        )
         print(result.summary_line())
+        if scenario.reference_median_s is not None:
+            speedup = scenario.reference_median_s / result.median_s
+            print(f"{'':<24} speedup {speedup:6.2f}x vs pre-PR median "
+                  f"{scenario.reference_median_s * 1000:.3f} ms")
         payload = result_payload(result, scenario)
         if args.output_dir is not None:
             save_baseline(payload, baseline_path(name, args.output_dir))
@@ -178,6 +212,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(comparison.verdict_line())
             if comparison.regressed:
                 failures += 1
+    if args.jobs != 1:
+        print(f"campaign: {len(names)} scenario(s) across {campaign.workers} "
+              f"worker(s) in {campaign.wall_s:.2f}s")
+    _report_cache(args, cache)
     if args.check:
         print(f"bench check: {len(names) - failures}/{len(names)} scenarios pass")
     return 1 if failures else 0
@@ -220,18 +258,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.faults.chaos import BUILTIN_SCENARIOS, run_campaign
+    from repro.faults.chaos import BUILTIN_SCENARIOS
+    from repro.parallel import chaos_jobs, run_campaign
 
     if args.list:
         for scenario in BUILTIN_SCENARIOS:
             print(f"{scenario.name:<24} expect {scenario.expected:<10} "
                   f"{scenario.description}")
         return 0
+    cache = _make_cache(args)
     try:
-        code, reports = run_campaign(names=args.scenario or None, check=args.check)
+        jobs = chaos_jobs(names=args.scenario or None)
     except KeyError as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2
+    campaign = run_campaign(jobs, workers=args.jobs, cache=cache)
+    by_key = campaign.by_key()
+    reports = [by_key[job.key].stable for job in jobs]
+    if args.check:
+        # The determinism proof re-runs the whole campaign *fresh* —
+        # never against the cache — so a hit must match what the
+        # current code actually produces.
+        recheck = run_campaign(jobs, workers=args.jobs, cache=None).by_key()
+        for job, report in zip(jobs, reports):
+            report["deterministic"] = (
+                recheck[job.key].stable["digest"] == report["digest"]
+            )
+            if not report["deterministic"]:
+                report["ok"] = False
     for report in reports:
         verdict = "ok  " if report["ok"] else "FAIL"
         detail = f"{report['outcome']} (expected {report['expected']})"
@@ -250,7 +304,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     ok = sum(1 for report in reports if report["ok"])
     print(f"chaos: {ok}/{len(reports)} scenarios as expected ({summary})")
-    return code
+    print(f"campaign: digest={campaign.digest[:16]} workers={campaign.workers} "
+          f"cached={campaign.cached_count()}/{len(reports)}")
+    _report_cache(args, cache)
+    return 1 if ok < len(reports) else 0
+
+
+def _parse_seed_spec(spec: str) -> list:
+    """``1:8`` → [1..8]; ``3,5,9`` → [3, 5, 9]; ``7`` → [7]."""
+    if ":" in spec:
+        lo_text, hi_text = spec.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+        if hi < lo:
+            raise ValueError(f"bad seed range {spec!r}")
+        return list(range(lo, hi + 1))
+    return [int(part) for part in spec.split(",")]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.parallel import run_campaign, sweep_jobs
+
+    try:
+        seeds = _parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    paths = [PATH_UMTS, PATH_ETHERNET] if args.path == "both" else [args.path]
+    cache = _make_cache(args)
+    try:
+        jobs = sweep_jobs(args.kind, seeds=seeds, paths=paths, duration=args.duration)
+    except (KeyError, ValueError) as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    campaign = run_campaign(jobs, workers=args.jobs, cache=cache)
+    print(f"{args.kind} sweep: {len(seeds)} seed(s) x {len(paths)} path(s), "
+          f"{args.duration:.0f}s each")
+    for result in campaign.results:
+        s = result.stable["summary"]
+        print(f"{result.stable['path']:<9} seed={result.stable['seed']:<6} "
+              f"bitrate {s['bitrate_kbps']:8.1f} kbit/s   "
+              f"loss {s['loss_fraction'] * 100:5.1f}%   "
+              f"jitter {s['mean_jitter_s'] * 1000:7.2f} ms   "
+              f"RTT {s['mean_rtt_s'] * 1000:7.1f} ms   "
+              f"digest {result.stable['digest'][:12]}")
+    if args.jsonl is not None:
+        lines = [json.dumps(result.stable, sort_keys=True)
+                 for result in campaign.results]
+        Path(args.jsonl).write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} run(s) to {args.jsonl}")
+    print(f"campaign: digest={campaign.digest[:16]} workers={campaign.workers} "
+          f"cached={campaign.cached_count()}/{len(jobs)} "
+          f"wall={campaign.wall_s:.2f}s")
+    _report_cache(args, cache)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -317,6 +425,7 @@ def main(argv=None) -> int:
         "--warmup", type=int, default=None,
         help="override every scenario's warmup count",
     )
+    _add_campaign_args(bench_parser)
     lint_parser = sub.add_parser(
         "lint", help="domain-aware static analysis (determinism, FSM, typing)"
     )
@@ -354,6 +463,28 @@ def main(argv=None) -> int:
         "--jsonl", default=None, metavar="PATH",
         help="write per-scenario reports as JSON lines to PATH",
     )
+    _add_campaign_args(chaos_parser)
+    sweep_parser = sub.add_parser(
+        "sweep", help="seed sweep of a characterization across worker processes"
+    )
+    sweep_parser.add_argument(
+        "--kind", choices=("voip", "cbr"), default="voip",
+        help="workload to sweep (default: voip)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="1:8", metavar="SPEC",
+        help="seed range LO:HI or comma list (default: 1:8)",
+    )
+    sweep_parser.add_argument(
+        "--path", choices=("both", PATH_UMTS, PATH_ETHERNET), default=PATH_UMTS,
+        help=f"which path(s) to run (default: {PATH_UMTS})",
+    )
+    sweep_parser.add_argument("--duration", type=float, default=30.0)
+    sweep_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write per-run records as JSON lines to PATH",
+    )
+    _add_campaign_args(sweep_parser)
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -363,8 +494,29 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    """The shared campaign flags: sharding and result caching."""
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1: in-process; 0: one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the content-addressed result cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print hit/miss/store counts after the run",
+    )
 
 
 if __name__ == "__main__":

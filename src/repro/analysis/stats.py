@@ -47,7 +47,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return finite[low]
     fraction = rank - low
-    return finite[low] * (1.0 - fraction) + finite[high] * fraction
+    # lo + f*(hi-lo) rather than lo*(1-f) + hi*f: the weighted form can
+    # underflow subnormals to 0.0, breaking percentile monotonicity.
+    return finite[low] + fraction * (finite[high] - finite[low])
 
 
 def median(values: Sequence[float]) -> float:

@@ -242,6 +242,13 @@ class UmtsConnectionManager:
             kind, value = yield outcome
             self._carrier_down.unwait(on_lost)
             if kind == "up":
+                # The session can also die under a live carrier (peer
+                # Terminate, LCP echo timeout, a failed renegotiation
+                # tearing ppp0 down): watch pppd itself, not just the
+                # modem.  The carrier-loss and stop paths leave UP
+                # synchronously before this +0 callback runs, so it
+                # no-ops there.
+                self.pppd.down.wait(self._ppp_down)
                 self._set_state(ConnectionState.UP, "ipcp open")
                 self.connected_at = self.sim.now
                 self.connects += 1
@@ -255,6 +262,10 @@ class UmtsConnectionManager:
                 lines.append(f"pppd: {self.ifname} up, local address {value.address}")
                 return 0, lines
             self._drop_transport()
+            # Hard-abort the abandoned session: a frame already queued
+            # behind the failure can otherwise still open IPCP on the
+            # old pppd and leave a stale ppp0 with no owner to remove.
+            self.pppd.carrier_lost(f"abandoned: {value}")
             self.pppd = None
             lines.append(f"pppd: {value}")
             if trace is not None:
@@ -313,6 +324,29 @@ class UmtsConnectionManager:
         self._carrier_down.fire("carrier lost")
         if was_up:
             self.went_down.fire("carrier lost")
+
+    def _ppp_down(self, reason: str) -> None:
+        """pppd lost ppp0 while the carrier stayed up.
+
+        Peer Terminate-Request, LCP echo timeout and a renegotiation
+        that fails to re-open all remove the interface without any
+        modem-level event; the back-end still needs its ``went_down``
+        cleanup or the lock and the isolation rules leak.
+        """
+        if self.state != ConnectionState.UP:
+            return  # a stop/carrier-loss teardown already owns this drop
+        self._count("umts.ppp_session_losses")
+        trace = self.sim.trace
+        if trace is not None:
+            trace.error("umts.ppp_down", reason=str(reason))
+        if self.pppd is not None:
+            # Abort any renegotiation still in flight; the interface is
+            # already gone, so this cannot re-fire pppd.down.
+            self.pppd.carrier_lost(f"session down: {reason}")
+        self._drop_transport()
+        self._set_state(ConnectionState.DOWN, f"ppp down: {reason}")
+        self.connected_at = None
+        self.went_down.fire(f"ppp down: {reason}")
 
     def _drop_transport(self) -> None:
         if self.transport is not None:

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.isolation import UMTS_TABLE
 from repro.core.supervisor import ConnectionSupervisor
 from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBus, TraceEvent
 from repro.sim.process import spawn
 from repro.testbed.scenarios import DEFAULT_SLICE_NAME, OneLabScenario
@@ -207,14 +208,25 @@ def _clean_state(testbed: OneLabScenario) -> bool:
     )
 
 
-def run_scenario(scenario: ChaosScenario) -> Dict[str, Any]:
-    """Run one scenario to completion and classify the outcome."""
+def run_scenario(
+    scenario: ChaosScenario,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Run one scenario to completion and classify the outcome.
+
+    An optional ``metrics`` registry is attached to the simulator for
+    the duration of the run — observation only, so the report (and its
+    digest) is identical with or without it.  Campaign workers pass a
+    fresh registry per job and ship its snapshot back for merging.
+    """
     testbed = OneLabScenario(seed=scenario.seed)
     sim = testbed.sim
     bus = TraceBus(sim)
     collector = _Collector()
     bus.attach(collector)
     sim.trace = bus
+    if metrics is not None:
+        sim.metrics = metrics
     plan = FaultPlan.from_spec(*scenario.specs)
     registry = plan.install(sim, rng=testbed.streams.stream("faults"))
     supervisor: Optional[ConnectionSupervisor] = None

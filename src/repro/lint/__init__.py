@@ -18,7 +18,11 @@ Three rule families guard the properties the reproduction depends on:
 - **retry policy** (:mod:`repro.lint.rules.retry`) — no ``time.sleep``
   and no hand-rolled ``range()``-based retry loops; every retry goes
   through :class:`repro.core.retry.RetryPolicy` so attempt budgets and
-  backoff schedules are declared and seed-deterministic.
+  backoff schedules are declared and seed-deterministic;
+- **worker safety** (:mod:`repro.lint.rules.worker_safety`) — code in
+  :mod:`repro.parallel` must not mutate module-level state from inside
+  functions; campaign jobs are pure functions of their payload, which
+  is what makes ``-j 1`` and ``-j N`` results bit-identical.
 
 Findings are suppressed per line with ``# lint: allow(<rule-id>)``
 pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
@@ -32,7 +36,13 @@ from repro.lint.report import human_report, jsonl_report
 from repro.lint.runner import iter_python_files, lint_paths
 
 # Importing the rule modules registers every rule in RULES.
-from repro.lint.rules import determinism, fsm, retry, typing_defs  # noqa: F401  (registration)
+from repro.lint.rules import (  # noqa: F401  (registration)
+    determinism,
+    fsm,
+    retry,
+    typing_defs,
+    worker_safety,
+)
 
 __all__ = [
     "Finding",

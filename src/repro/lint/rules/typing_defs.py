@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Tuple, Union
 from repro.lint.core import Finding, LintModule, Rule, Severity, register
 
 #: Packages under ``repro`` held to full annotation coverage.
-STRICT_PACKAGES = ("sim", "ppp", "vsys", "bench")
+STRICT_PACKAGES = ("sim", "ppp", "vsys", "bench", "parallel")
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 

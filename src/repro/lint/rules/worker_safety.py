@@ -1,0 +1,234 @@
+"""Worker-safety rule: campaign jobs must not lean on process state.
+
+The campaign runner (:mod:`repro.parallel`) promises that ``-j 1`` and
+``-j N`` produce identical results.  That holds only while job entry
+points are pure functions of their payload: a function that *mutates*
+module-level state smuggles information between jobs that share a
+worker process — and loses it between jobs that don't — so results
+start depending on the sharding.  This rule flags writes to
+module-level mutable bindings from inside any function in the
+``repro.parallel`` package (and in lint fixtures): ``global``
+rebinding, augmented or subscript assignment, ``del``, and calls to
+known mutator methods.
+
+Import-time registration (populating a registry as a module loads) is
+fine — every worker runs the same imports — and is the sanctioned
+pragma use: ``# lint: allow(worker-safety)`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.core import Finding, LintModule, Rule, Severity, register
+
+#: Methods that mutate their receiver (dict/list/set/deque vocabulary).
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "extendleft",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Constructors whose results are mutable containers.
+_MUTABLE_CALLS = {"dict", "list", "set", "bytearray", "defaultdict", "deque",
+                  "Counter", "OrderedDict"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _module_mutables(tree: ast.Module) -> Set[str]:
+    """Names bound at module level to mutable containers."""
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign) and _is_mutable_literal(node.value):
+            targets = node.targets
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+              and _is_mutable_literal(node.value)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _binding_names(target: ast.expr) -> Iterable[str]:
+    """Names a target genuinely *binds* — ``x``, ``(a, b)``, ``*rest``.
+
+    ``x[k] = …`` and ``x.attr = …`` mutate an existing object rather
+    than binding a local, so their base names are deliberately not
+    yielded (that is exactly what the rule must still see).
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names the function binds locally (which shadow module globals)."""
+    bound: Set[str] = set()
+    args = fn.args  # type: ignore[attr-defined]
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        bound.add(arg.arg)
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_binding_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.For, ast.AsyncFor)):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_binding_names(item.optional_vars))
+    return bound - declared_global
+
+
+def _receiver_name(node: ast.expr) -> Tuple[ast.expr, str]:
+    """Peel ``x[...]`` / ``x.attr`` down to the base expression."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node, node.id if isinstance(node, ast.Name) else ""
+
+
+def _own_nodes(root: ast.AST) -> Iterable[ast.AST]:
+    """Descendants of ``root`` that belong to its scope.
+
+    Like ``ast.walk`` but stops at function boundaries: a nested
+    ``def`` is yielded (so callers can recurse with its own locals)
+    without descending into its body.  Class bodies are descended —
+    methods live in the enclosing module scope for our purposes.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class WorkerSafetyRule(Rule):
+    """Job code must not mutate module-level state at run time."""
+
+    id = "worker-safety"
+    severity = Severity.ERROR
+    description = (
+        "forbid mutating module-level state inside repro.parallel "
+        "functions; job results must be pure functions of the payload"
+    )
+
+    def _in_scope(self, module: LintModule) -> bool:
+        parts = module.repro_parts
+        # None = outside the package (fixtures exercise the rule there).
+        return parts is None or parts[0] == "parallel"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not self._in_scope(module):
+            return
+        assert isinstance(module.tree, ast.Module)
+        mutables = _module_mutables(module.tree)
+        for fn in _own_nodes(module.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, fn, mutables, frozenset())
+
+    def _check_function(
+        self,
+        module: LintModule,
+        fn: ast.AST,
+        mutables: Set[str],
+        inherited: frozenset,
+    ) -> Iterable[Finding]:
+        # A name bound in this function (or an enclosing one) shadows
+        # the module-level binding; mutating it is scoped, not shared.
+        locals_ = frozenset(_local_bindings(fn)) | inherited
+
+        def global_mutable(name: str) -> bool:
+            return name in mutables and name not in locals_
+
+        for node in _own_nodes(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, mutables, locals_)
+            elif isinstance(node, ast.Global):
+                yield self.finding(
+                    module,
+                    node,
+                    f"'global {', '.join(node.names)}' rebinds module "
+                    f"state from a function; pass state through the "
+                    f"job payload instead",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                        continue
+                    _, name = _receiver_name(target)
+                    if global_mutable(name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"assignment into module-level {name!r} from a "
+                            f"function; workers each see their own copy",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                        continue
+                    _, name = _receiver_name(target)
+                    if global_mutable(name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"del into module-level {name!r} from a function",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+                    continue
+                _, name = _receiver_name(func.value)
+                if global_mutable(name):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}.{func.attr}() mutates module-level state "
+                        f"from a function; job outputs must flow through "
+                        f"the returned JobOutput",
+                    )

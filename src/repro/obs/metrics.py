@@ -39,6 +39,14 @@ class Counter:
         """Exportable snapshot."""
         return {"type": "counter", "value": self.value}
 
+    def snapshot(self) -> Dict[str, object]:
+        """Lossless JSON-able state, mergeable via :meth:`merge_snapshot`."""
+        return {"type": "counter", "value": self.value}
+
+    def merge_snapshot(self, state: Dict[str, object]) -> None:
+        """Fold another counter's snapshot into this one (values add)."""
+        self.inc(state["value"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -81,6 +89,33 @@ class Gauge:
             "min": self.min_value if self.updates else None,
             "updates": self.updates,
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Lossless JSON-able state, mergeable via :meth:`merge_snapshot`."""
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "max": self.max_value if self.updates else None,
+            "min": self.min_value if self.updates else None,
+            "updates": self.updates,
+        }
+
+    def merge_snapshot(self, state: Dict[str, object]) -> None:
+        """Fold another gauge's snapshot into this one.
+
+        Extremes and update counts combine; the merged *current* value
+        takes the incoming side's (callers merge snapshots in a
+        deterministic key order, so the result is reproducible).
+        """
+        updates = int(state["updates"])  # type: ignore[arg-type]
+        if updates == 0:
+            return
+        self.updates += updates
+        self.value = float(state["value"])  # type: ignore[arg-type]
+        if float(state["max"]) > self.max_value:  # type: ignore[arg-type]
+            self.max_value = float(state["max"])  # type: ignore[arg-type]
+        if float(state["min"]) < self.min_value:  # type: ignore[arg-type]
+            self.min_value = float(state["min"])  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Gauge {self.name}={self.value}>"
@@ -147,6 +182,44 @@ class Histogram:
             "overflow": self.overflow,
         }
 
+    def snapshot(self) -> Dict[str, object]:
+        """Lossless JSON-able state, mergeable via :meth:`merge_snapshot`.
+
+        Unlike :meth:`as_dict` (a display export with ``le_…`` keys),
+        this keeps the raw ``edges``/``counts`` arrays so a merge can
+        verify bucket compatibility and add counts exactly.
+        """
+        return {
+            "type": "histogram",
+            "edges": list(self.buckets),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max_value if self.count else None,
+            "min": self.min_value if self.count else None,
+        }
+
+    def merge_snapshot(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's snapshot into this one (counts add)."""
+        edges = [float(e) for e in state["edges"]]  # type: ignore[union-attr]
+        if edges != list(self.buckets):
+            raise ValueError(
+                f"histogram {self.name!r} bucket mismatch: "
+                f"{edges!r} vs {list(self.buckets)!r}"
+            )
+        if int(state["count"]) == 0:  # type: ignore[arg-type]
+            return
+        for i, n in enumerate(state["counts"]):  # type: ignore[arg-type]
+            self.counts[i] += int(n)
+        self.overflow += int(state["overflow"])  # type: ignore[arg-type]
+        self.count += int(state["count"])  # type: ignore[arg-type]
+        self.total += float(state["sum"])  # type: ignore[arg-type]
+        if float(state["max"]) > self.max_value:  # type: ignore[arg-type]
+            self.max_value = float(state["max"])  # type: ignore[arg-type]
+        if float(state["min"]) < self.min_value:  # type: ignore[arg-type]
+            self.min_value = float(state["min"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count}>"
 
@@ -209,6 +282,37 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         """The :meth:`as_dict` snapshot serialized as JSON."""
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Lossless JSON-able state of every metric, keyed by name.
+
+        ``MetricsRegistry().merge(r.snapshot()).snapshot()`` round-trips
+        exactly; campaign workers ship these across the process boundary
+        and the runner merges them into one registry.
+        """
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def merge(self, state: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot` into this registry (returns self).
+
+        Each named metric is created on first sight with the snapshot's
+        type, then folded additively — counters and histogram buckets
+        sum, gauge extremes and update counts combine — so merging N
+        disjoint worker snapshots counts every observation exactly once.
+        """
+        for name in sorted(state):
+            entry = state[name]
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).merge_snapshot(entry)
+            elif kind == "gauge":
+                self.gauge(name).merge_snapshot(entry)
+            elif kind == "histogram":
+                edges = [float(e) for e in entry["edges"]]  # type: ignore[union-attr]
+                self.histogram(name, buckets=edges).merge_snapshot(entry)
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+        return self
 
     def summary_lines(self) -> List[str]:
         """Compact human-readable lines (what ``repro trace`` prints)."""

@@ -1,0 +1,59 @@
+"""Sharded campaign execution with a deterministic merge.
+
+Campaigns — bench scenario repeats, the chaos suite, seed sweeps —
+are embarrassingly parallel: every job is an independent simulation
+fully described by its payload.  This package shards them across a
+process pool and merges the results in stable job-key order, so the
+campaign digest is bit-identical for any ``-j``; a content-addressed
+cache (keyed by source tree, scenario, and seed) skips jobs whose
+inputs have not changed.  See ``docs/PARALLEL.md`` for the job model
+and the determinism contract.
+"""
+
+from repro.parallel.cache import (
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    source_tree_digest,
+    tree_digest,
+)
+from repro.parallel.entrypoints import bench_jobs, chaos_jobs, sweep_jobs
+from repro.parallel.jobs import (
+    ENTRY_POINTS,
+    Job,
+    JobOutput,
+    JobResult,
+    entry_point,
+    resolve_entry_point,
+    validate_jobs,
+)
+from repro.parallel.runner import (
+    CampaignResult,
+    campaign_digest,
+    default_start_method,
+    execute_job,
+    run_campaign,
+)
+
+__all__ = [
+    "ENTRY_POINTS",
+    "CacheStats",
+    "CampaignResult",
+    "Job",
+    "JobOutput",
+    "JobResult",
+    "ResultCache",
+    "bench_jobs",
+    "campaign_digest",
+    "chaos_jobs",
+    "default_cache_dir",
+    "default_start_method",
+    "entry_point",
+    "execute_job",
+    "resolve_entry_point",
+    "run_campaign",
+    "source_tree_digest",
+    "sweep_jobs",
+    "tree_digest",
+    "validate_jobs",
+]

@@ -1,0 +1,194 @@
+"""Built-in campaign workloads: chaos scenarios, bench repeats, sweeps.
+
+Each entry point is a module-level function (spawn-safe by
+construction) that rebuilds *everything* from its payload — the
+scenario config, the seed, the duration all travel in the job, never
+in process state — which is what makes a job's ``stable`` output a
+pure function of the payload and therefore cacheable and
+``-j``-independent.  The matching ``*_jobs`` builders construct the
+descriptors the CLI and the tests feed to
+:func:`repro.parallel.runner.run_campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.jobs import Job, JobOutput, entry_point
+
+# -- chaos ----------------------------------------------------------------
+
+
+def chaos_jobs(names: Optional[Sequence[str]] = None, repeats: int = 1) -> List[Job]:
+    """One job per (selected) built-in chaos scenario.
+
+    ``repeats`` > 1 batches identical runs into each job — the
+    campaign wall-clock benchmark uses this, and every repetition must
+    reproduce the first run's digest or the job fails.
+    """
+    from repro.faults.chaos import BUILTIN_SCENARIOS
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+    selected = list(BUILTIN_SCENARIOS)
+    if names:
+        known = {scenario.name: scenario for scenario in BUILTIN_SCENARIOS}
+        missing = [name for name in names if name not in known]
+        if missing:
+            raise KeyError(
+                f"unknown scenario(s): {', '.join(missing)} "
+                f"(known: {', '.join(known)})"
+            )
+        selected = [known[name] for name in names]
+    jobs = []
+    for scenario in selected:
+        config = asdict(scenario)
+        config["specs"] = list(config["specs"])
+        payload: Dict[str, Any] = {"scenario": config}
+        if repeats != 1:
+            payload["repeats"] = repeats
+        jobs.append(Job(kind="chaos", key=f"chaos:{scenario.name}", payload=payload))
+    return jobs
+
+
+@entry_point("chaos")
+def run_chaos_job(payload: Dict[str, Any]) -> JobOutput:
+    """Run one chaos scenario (``repeats`` times) under a fresh registry."""
+    from repro.faults.chaos import ChaosScenario, run_scenario
+
+    config = dict(payload["scenario"])
+    config["specs"] = tuple(config["specs"])
+    scenario = ChaosScenario(**config)
+    repeats = int(payload.get("repeats", 1))
+    metrics = MetricsRegistry()
+    report = run_scenario(scenario, metrics=metrics)
+    for _ in range(repeats - 1):
+        rerun = run_scenario(scenario, metrics=metrics)
+        if rerun["digest"] != report["digest"]:
+            raise RuntimeError(
+                f"chaos scenario {scenario.name!r} did not reproduce its "
+                f"digest across batched repeats"
+            )
+        report = rerun
+    stable = dict(report)
+    if repeats != 1:
+        stable["campaign_repeats"] = repeats
+    return JobOutput(stable=stable, volatile={}, metrics=metrics.snapshot())
+
+
+# -- bench ----------------------------------------------------------------
+
+
+def bench_jobs(
+    names: Sequence[str],
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> List[Job]:
+    """One job per bench scenario.
+
+    Bench jobs are **not cacheable**: their point is the wall-clock
+    measurement, which must be taken fresh on every run.  Their
+    ``stable`` part is the run *configuration* only, so ``-j 1`` and
+    ``-j N`` campaigns digest identically even though timings differ.
+    """
+    jobs = []
+    for name in names:
+        payload: Dict[str, Any] = {"scenario": name}
+        if repeats is not None:
+            payload["repeats"] = repeats
+        if warmup is not None:
+            payload["warmup"] = warmup
+        jobs.append(
+            Job(kind="bench", key=f"bench:{name}", payload=payload, cacheable=False)
+        )
+    return jobs
+
+
+@entry_point("bench")
+def run_bench_job(payload: Dict[str, Any]) -> JobOutput:
+    """Time one registered bench scenario in this worker."""
+    from repro.bench import REGISTRY, run_scenario
+
+    name = payload["scenario"]
+    if name not in REGISTRY:
+        raise KeyError(f"unknown bench scenario {name!r}")
+    result = run_scenario(
+        REGISTRY[name],
+        repeats=payload.get("repeats"),
+        warmup=payload.get("warmup"),
+    )
+    stable = {"scenario": name, "repeats": result.repeats, "warmup": result.warmup}
+    return JobOutput(stable=stable, volatile={"times_s": list(result.times)}, metrics={})
+
+
+def bench_result_from(result_volatile: Dict[str, Any], name: str, warmup: int) -> Any:
+    """Rebuild the :class:`~repro.bench.runner.BenchResult` in the parent."""
+    from repro.bench.runner import BenchResult
+
+    return BenchResult(name, list(result_volatile["times_s"]), warmup)
+
+
+# -- sweep ----------------------------------------------------------------
+
+SWEEP_KINDS = ("voip", "cbr")
+
+
+def sweep_jobs(
+    kind: str,
+    seeds: Sequence[int],
+    paths: Sequence[str],
+    duration: float,
+) -> List[Job]:
+    """The seed × path product for one workload kind."""
+    if kind not in SWEEP_KINDS:
+        raise KeyError(f"unknown sweep kind {kind!r} (known: {', '.join(SWEEP_KINDS)})")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration!r}")
+    jobs = []
+    for path in paths:
+        for seed in seeds:
+            payload = {
+                "kind": kind,
+                "path": path,
+                "seed": int(seed),
+                "duration": float(duration),
+            }
+            jobs.append(
+                Job(kind="sweep", key=f"sweep:{kind}:{path}:seed={seed:06d}",
+                    payload=payload)
+            )
+    return jobs
+
+
+@entry_point("sweep")
+def run_sweep_job(payload: Dict[str, Any]) -> JobOutput:
+    """One full characterization run; summary stats plus output digest."""
+    from repro import cbr, run_characterization, voip_g711
+    from repro.bench.determinism import run_digest
+
+    spec_fn = {"voip": voip_g711, "cbr": cbr}[payload["kind"]]
+    result = run_characterization(
+        spec_fn(duration=payload["duration"]),
+        path=payload["path"],
+        seed=payload["seed"],
+    )
+    summary = result.summary
+    stable = {
+        "kind": payload["kind"],
+        "path": payload["path"],
+        "seed": payload["seed"],
+        "duration": payload["duration"],
+        "digest": run_digest(result),
+        "summary": {
+            "packets_sent": summary.packets_sent,
+            "packets_received": summary.packets_received,
+            "loss_fraction": summary.loss_fraction,
+            "bitrate_kbps": summary.mean_bitrate_kbps,
+            "mean_jitter_s": summary.mean_jitter,
+            "mean_rtt_s": summary.mean_rtt,
+            "max_rtt_s": summary.max_rtt,
+        },
+    }
+    return JobOutput(stable=stable, volatile={}, metrics={})

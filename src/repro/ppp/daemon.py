@@ -112,7 +112,7 @@ class Pppd:
                 sim,
                 self._send_ipcp,
                 on_up=self._ipcp_up,
-                on_down=self._lcp_down,
+                on_down=self._ipcp_down,
                 on_fail=self._negotiation_failed,
                 request_dns=request_dns,
             )
@@ -121,7 +121,7 @@ class Pppd:
                 sim,
                 self._send_ipcp,
                 on_up=self._ipcp_up,
-                on_down=self._lcp_down,
+                on_down=self._ipcp_down,
                 on_fail=self._negotiation_failed,
                 local_address=local_address,
                 assign_address=assign_address,
@@ -225,6 +225,13 @@ class Pppd:
         self.up.fire(iface)
 
     def _lcp_down(self, reason: str) -> None:
+        # LCP leaving the data phase takes IPCP's lower layer with it;
+        # abort IPCP so a later LCP re-open renegotiates the network
+        # layer from scratch (and re-creates the interface).
+        self.ipcp.abort(reason)
+        self._teardown(reason)
+
+    def _ipcp_down(self, reason: str) -> None:
         self._teardown(reason)
 
     def _negotiation_failed(self, reason: str) -> None:

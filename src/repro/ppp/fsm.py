@@ -423,11 +423,20 @@ class NegotiationFsm:
     def _act_conf_req_opened(self, packet: ControlPacket) -> None:
         verdict, options = self.check_peer_options(dict(packet.options))
         if verdict == CONF_ACK:
-            # Renegotiation: drop back and re-request our side.
-            self._ack_peer(packet)
+            # Renegotiation (RFC 1661 Opened+RCR: tld, scr, sca): the
+            # data phase ends *now* — on_down must fire so the upper
+            # layer releases its interface — and resumes only when
+            # both sides re-ack.  The scr MUST go out before the sca
+            # (pppd's fsm.c does the same): the peer has to see our
+            # Configure-Request while it is still in Ack-Sent, not
+            # after our Ack re-opened it, or two crossing
+            # renegotiations knock each other out of Opened forever.
+            if self.on_down is not None:
+                self.on_down("renegotiation")
             self._restart_counter = self.max_configure
             self._begin_nego_span()
             self._send_configure_request()
+            self._ack_peer(packet)
             self._set_state(FsmState.ACK_SENT, "renegotiation")
         else:
             self.send_packet(ControlPacket(CONF_NAK, packet.identifier, options))

@@ -1,0 +1,43 @@
+"""Fixture: module-level state mutated from functions (worker-safety)."""
+
+RESULTS = {}
+SEEN = []
+TOTAL = 0
+NAMES = ("a", "b")  # immutable: never flagged
+
+
+def bad_global() -> None:
+    global TOTAL  # line 10: worker-safety (global rebinding)
+    TOTAL = TOTAL + 1
+
+
+def bad_subscript(key: str, value: int) -> None:
+    RESULTS[key] = value  # line 15: worker-safety (subscript assign)
+
+
+def bad_augmented(key: str) -> None:
+    RESULTS[key] += 1  # line 19: worker-safety (augmented subscript)
+
+
+def bad_delete(key: str) -> None:
+    del RESULTS[key]  # line 23: worker-safety (del)
+
+
+def bad_mutator(value: int) -> None:
+    SEEN.append(value)  # line 27: worker-safety (mutator method)
+
+
+def local_shadow_is_fine() -> dict:
+    RESULTS = {}  # rebinding a *local* named like the global: clean
+    RESULTS["x"] = 1
+    SEEN = list(range(3))
+    SEEN.append(4)
+    return RESULTS
+
+
+def parameter_is_fine(SEEN: list) -> None:
+    SEEN.append(1)  # mutates the caller's argument, not module state
+
+
+def excused(value: int) -> None:
+    SEEN.append(value)  # lint: allow(worker-safety) -- fixture pragma check

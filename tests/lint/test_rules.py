@@ -143,6 +143,44 @@ class TestFsmPolicyOverride:
         assert "'_act_open'" in findings[1].message
 
 
+class TestWorkerSafety:
+    def test_flags_every_runtime_mutation(self):
+        findings = findings_for("worker_unsafe.py", "worker-safety")
+        assert locations(findings) == [
+            (10, "worker-safety"),
+            (15, "worker-safety"),
+            (19, "worker-safety"),
+            (23, "worker-safety"),
+            (27, "worker-safety"),
+        ]
+        assert "'global TOTAL'" in findings[0].message
+        assert "SEEN.append()" in findings[4].message
+
+    def test_local_shadows_parameters_and_pragma_are_exempt(self):
+        lines = [f.line for f in findings_for("worker_unsafe.py", "worker-safety")]
+        assert all(line <= 27 for line in lines)  # nothing after bad_mutator
+
+    def test_scope_is_the_parallel_package(self):
+        src = Path(__file__).parents[2] / "src" / "repro"
+        # The rule is silent outside repro.parallel: the testbed module
+        # mutates module state legitimately (it is not job code).
+        assert lint_paths([src / "faults"], rule_ids=["worker-safety"]) == []
+        # ... and the parallel package itself must stay clean.
+        assert lint_paths([src / "parallel"], rule_ids=["worker-safety"]) == []
+
+    def test_entry_point_registry_needs_its_pragma(self, tmp_path):
+        jobs = Path(__file__).parents[2] / "src" / "repro" / "parallel" / "jobs.py"
+        source = jobs.read_text()
+        assert "# lint: allow(worker-safety)" in source
+        stripped = tmp_path / "jobs_stripped.py"
+        stripped.write_text(
+            source.replace("# lint: allow(worker-safety)", "# (pragma removed)")
+        )
+        findings = lint_paths([stripped], rule_ids=["worker-safety"])
+        assert len(findings) == 1
+        assert "ENTRY_POINTS" in findings[0].message
+
+
 class TestRealTransitionTable:
     """The acceptance proof: deleting any one entry from the shipped
     RFC 1661 table makes fsm-exhaustive fail, so the rule genuinely

@@ -109,3 +109,79 @@ def test_registry_export_round_trips_through_json():
     assert decoded["depth"]["max"] == 4.0
     assert decoded["lat"]["count"] == 1
     assert len(registry.summary_lines()) == 3
+
+
+class TestSnapshotMerge:
+    """snapshot()/merge() power the campaign runner's per-worker fold."""
+
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.gauge("depth").set(5.0)
+        hist = registry.histogram("latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(7.0)
+        return registry
+
+    def test_snapshot_merge_round_trips_exactly(self):
+        original = self._populated()
+        restored = MetricsRegistry().merge(original.snapshot())
+        assert restored.snapshot() == original.snapshot()
+        assert restored.as_dict() == original.as_dict()
+
+    def test_snapshot_survives_json(self):
+        snap = self._populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_adds_without_double_counting(self):
+        a, b = self._populated(), self._populated()
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        assert merged.counter("jobs").value == 6
+        hist = merged.histogram("latency")
+        assert hist.count == 6
+        assert hist.overflow == 2
+        assert hist.total == a.histogram("latency").total * 2
+        gauge = merged.gauge("depth")
+        assert gauge.updates == 4
+        assert gauge.max_value == 5.0
+        assert gauge.min_value == 2.0
+
+    def test_merge_is_disjoint_union_for_distinct_names(self):
+        left = MetricsRegistry()
+        left.counter("left.only").inc()
+        right = MetricsRegistry()
+        right.counter("right.only").inc(2)
+        merged = MetricsRegistry().merge(left.snapshot()).merge(right.snapshot())
+        assert merged.names() == ["left.only", "right.only"]
+        assert merged.counter("right.only").value == 2
+
+    def test_merge_ignores_untouched_gauge(self):
+        src = MetricsRegistry()
+        src.gauge("idle")  # created, never set
+        merged = MetricsRegistry().merge(src.snapshot())
+        assert merged.gauge("idle").updates == 0
+        assert merged.snapshot() == src.snapshot()
+
+    def test_merge_rejects_histogram_edge_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 5.0)).observe(1.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            b.merge(a.snapshot())
+
+    def test_merge_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge({"x": {"type": "summary"}})
+
+    def test_merge_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        donor = MetricsRegistry()
+        donor.gauge("m").set(1.0)
+        with pytest.raises(TypeError):
+            registry.merge(donor.snapshot())

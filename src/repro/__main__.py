@@ -23,7 +23,11 @@ Five commands, mirroring the paper's narrative:
   reproduce its recovery timeline bit-identically (see docs/FAULTS.md);
 - ``sweep`` — seed sweeps of the characterization experiments, sharded
   across worker processes (``-j N``) with a deterministic merge and a
-  content-addressed result cache (see docs/PARALLEL.md).
+  content-addressed result cache (see docs/PARALLEL.md);
+- ``report`` — campaign-scale telemetry: span timelines with the
+  bring-up critical path, deterministic sim-time profiles, and
+  OpenMetrics export of a single run's or a whole campaign's metrics
+  registry (see docs/OBSERVABILITY.md).
 
 ``bench``, ``chaos`` and ``sweep`` all run through the campaign runner
 (:mod:`repro.parallel`): ``-j N`` shards jobs across processes without
@@ -45,7 +49,7 @@ from repro import (
     voip_g711,
 )
 from repro.analysis.compare import compare_paths, report_lines
-from repro.obs import Observability, format_event
+from repro.obs import FlightRecorder, Observability, format_event
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -69,7 +73,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     scenario = OneLabScenario(seed=args.seed)
     obs = Observability(scenario.sim)
     obs.bind_node(scenario.napoli)
-    events = obs.record_events()
+    if args.last is not None:
+        if args.last <= 0:
+            print("trace: --last must be positive", file=sys.stderr)
+            return 2
+        # A bounded ring instead of the unbounded ListSink: memory stays
+        # O(N) however long the run, same trade as the flight recorder.
+        ring = obs.trace.attach(FlightRecorder(capacity=args.last, trigger_kinds=()))
+        events = None
+    else:
+        ring = None
+        events = obs.record_events()
     jsonl = obs.export_jsonl(args.jsonl) if args.jsonl else None
     if args.fail:
         # Make the cell refuse the PDP context: registration succeeds,
@@ -85,9 +99,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         umts.add_destination_blocking(scenario.inria_addr)
         umts.status_blocking()
         umts.stop_blocking()
-    print(f"trace: {len(events.events)} events, "
-          f"{scenario.sim.now:.1f} simulated seconds")
-    for event in events.events:
+    if events is not None:
+        recorded = events.events
+        print(f"trace: {len(recorded)} events, "
+              f"{scenario.sim.now:.1f} simulated seconds")
+    else:
+        recorded = ring.recent()
+        print(f"trace: last {len(recorded)} of {ring.seen} events, "
+              f"{scenario.sim.now:.1f} simulated seconds")
+    for event in recorded:
         print(format_event(event))
     print()
     print("metrics:")
@@ -361,6 +381,128 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_text(target: str, text: str, label: str) -> None:
+    """Write ``text`` to a path, or to stdout when ``target`` is ``-``."""
+    from pathlib import Path
+
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        Path(target).write_text(text)
+        print(f"wrote {label} to {target} ({len(text.encode())} bytes)")
+
+
+def _filtered_snapshot(registry, include_volatile: bool):
+    """A registry snapshot with wall-clock families dropped by default."""
+    from repro.obs.exporter import is_volatile
+
+    snapshot = registry.snapshot()
+    if include_volatile:
+        return snapshot
+    return {name: data for name, data in snapshot.items() if not is_volatile(name)}
+
+
+def _report_run(args: argparse.Namespace) -> int:
+    """One instrumented bring-up: timeline + profile + metrics."""
+    scenario = OneLabScenario(seed=args.seed)
+    obs = Observability(scenario.sim)
+    obs.bind_node(scenario.napoli)
+    events = obs.record_events()
+    profiler = obs.enable_profiling()
+    umts = scenario.umts_command()
+    result = umts.start_blocking()
+    if result.ok:
+        umts.add_destination_blocking(scenario.inria_addr)
+        umts.status_blocking()
+        umts.stop_blocking()
+    timeline = obs.timeline(events)
+    if args.jsonl is not None:
+        records = timeline.records()
+        records.append({"record": "profile", **profiler.snapshot()})
+        records.append({
+            "record": "metrics",
+            "metrics": _filtered_snapshot(obs.metrics, args.include_volatile),
+        })
+        lines = [json.dumps(record, sort_keys=True) for record in records]
+        _emit_text(args.jsonl, "\n".join(lines) + "\n", "report records")
+    if args.openmetrics is not None:
+        _emit_text(
+            args.openmetrics,
+            obs.openmetrics(include_volatile=args.include_volatile),
+            "OpenMetrics exposition",
+        )
+    if args.openmetrics == "-" or args.jsonl == "-":
+        return 0 if result.ok else 1
+    print(f"run report: seed={args.seed}, {timeline.events_seen} events, "
+          f"{scenario.sim.now:.1f} simulated seconds")
+    print()
+    print("timeline:")
+    for line in timeline.report_lines():
+        print("  " + line)
+    print()
+    print("profile:")
+    for line in profiler.report_lines():
+        print("  " + line)
+    print()
+    print("metrics:")
+    for line in obs.metrics.summary_lines():
+        print("  " + line)
+    return 0 if result.ok else 1
+
+
+def _report_campaign(args: argparse.Namespace) -> int:
+    """A whole campaign's folded registry, rendered and exported."""
+    from repro.obs import render_openmetrics
+    from repro.parallel import chaos_jobs, run_campaign, sweep_jobs
+
+    cache = _make_cache(args)
+    if args.campaign == "chaos":
+        jobs = chaos_jobs()
+    else:
+        try:
+            seeds = _parse_seed_spec(args.seeds)
+        except ValueError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        jobs = sweep_jobs(
+            args.kind, seeds=seeds, paths=[PATH_UMTS], duration=args.duration
+        )
+    campaign = run_campaign(jobs, workers=args.jobs, cache=cache)
+    if args.jsonl is not None:
+        records = [
+            {"record": "job", "key": r.key, "kind": r.kind, "stable": r.stable}
+            for r in campaign.results
+        ]
+        records.append({
+            "record": "metrics",
+            "metrics": _filtered_snapshot(campaign.metrics, args.include_volatile),
+        })
+        lines = [json.dumps(record, sort_keys=True) for record in records]
+        _emit_text(args.jsonl, "\n".join(lines) + "\n", "report records")
+    if args.openmetrics is not None:
+        _emit_text(
+            args.openmetrics,
+            render_openmetrics(
+                campaign.metrics, include_volatile=args.include_volatile
+            ),
+            "OpenMetrics exposition",
+        )
+    if args.openmetrics != "-" and args.jsonl != "-":
+        print(f"{args.campaign} campaign: {len(jobs)} job(s), "
+              f"digest={campaign.digest[:16]}, workers={campaign.workers}")
+        print("metrics:")
+        for line in campaign.metrics.summary_lines():
+            print("  " + line)
+    _report_cache(args, cache)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.campaign is None:
+        return _report_run(args)
+    return _report_campaign(args)
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -380,6 +522,10 @@ def main(argv=None) -> int:
         "--fail",
         action="store_true",
         help="force a dial-up failure to demonstrate the flight recorder",
+    )
+    trace_parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="print only the last N events (bounded ring, O(N) memory)",
     )
     for name, help_text in (
         ("voip", "the VoIP characterization (Figures 1-3)"),
@@ -485,6 +631,38 @@ def main(argv=None) -> int:
         help="write per-run records as JSON lines to PATH",
     )
     _add_campaign_args(sweep_parser)
+    report_parser = sub.add_parser(
+        "report", help="telemetry report: timeline, sim-time profile, OpenMetrics"
+    )
+    report_parser.add_argument(
+        "--campaign", choices=("chaos", "sweep"), default=None,
+        help="aggregate a whole campaign instead of one instrumented run",
+    )
+    report_parser.add_argument(
+        "--openmetrics", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the metrics registry as OpenMetrics text (default: stdout)",
+    )
+    report_parser.add_argument(
+        "--jsonl", nargs="?", const="-", default=None, metavar="PATH",
+        help="write phase/profile/metrics records as JSON lines (default: stdout)",
+    )
+    report_parser.add_argument(
+        "--include-volatile", action="store_true",
+        help="keep wall-clock metric families in exports (breaks byte-identity)",
+    )
+    report_parser.add_argument(
+        "--kind", choices=("voip", "cbr"), default="voip",
+        help="workload for --campaign sweep (default: voip)",
+    )
+    report_parser.add_argument(
+        "--seeds", default="1:4", metavar="SPEC",
+        help="seed range LO:HI or comma list for --campaign sweep (default: 1:4)",
+    )
+    report_parser.add_argument(
+        "--duration", type=float, default=10.0,
+        help="simulated seconds per sweep run (default: 10)",
+    )
+    _add_campaign_args(report_parser)
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -495,6 +673,7 @@ def main(argv=None) -> int:
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -3,12 +3,22 @@
 NaN values (empty-window placeholders from
 :meth:`~repro.sim.monitor.TimeSeries.window_average`) are skipped
 everywhere, so series can be fed in directly.
+
+:func:`stream_summary` exposes the constant-memory path — running
+moments plus P² quantile estimates from
+:mod:`repro.obs.streaming` — for campaign-scale inputs that never
+materialize a list.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.streaming import QuantileSketch
+
+#: Quantiles :func:`stream_summary` estimates by default.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
 
 
 def _finite(values: Sequence[float]) -> List[float]:
@@ -21,6 +31,25 @@ def mean(values: Sequence[float]) -> float:
     if not finite:
         return math.nan
     return sum(finite) / len(finite)
+
+
+def stream_summary(
+    values: Iterable[float],
+    quantiles: Sequence[float] = SUMMARY_QUANTILES,
+) -> Dict[str, float]:
+    """Constant-memory summary of an arbitrarily long value stream.
+
+    Consumes any iterable once and returns count/sum/mean/stdev/
+    extremes plus P² estimates for ``quantiles`` (keys like ``p50``).
+    Infinite values are skipped like everywhere else in this module;
+    the sketch handles NaN itself.
+    """
+    sketch = QuantileSketch(quantiles=quantiles)
+    for value in values:
+        if math.isinf(value):
+            continue
+        sketch.observe(value)
+    return sketch.as_dict()
 
 
 def stdev(values: Sequence[float]) -> float:

@@ -22,7 +22,11 @@ Three rule families guard the properties the reproduction depends on:
 - **worker safety** (:mod:`repro.lint.rules.worker_safety`) — code in
   :mod:`repro.parallel` must not mutate module-level state from inside
   functions; campaign jobs are pure functions of their payload, which
-  is what makes ``-j 1`` and ``-j N`` results bit-identical.
+  is what makes ``-j 1`` and ``-j N`` results bit-identical;
+- **metric names** (:mod:`repro.lint.rules.metric_name`) — metric and
+  span names are static lowercase dotted literals (or precomputed
+  variables); runtime-built names would explode the OpenMetrics family
+  set and defeat the exporter's byte-identity gate.
 
 Findings are suppressed per line with ``# lint: allow(<rule-id>)``
 pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
@@ -39,6 +43,7 @@ from repro.lint.runner import iter_python_files, lint_paths
 from repro.lint.rules import (  # noqa: F401  (registration)
     determinism,
     fsm,
+    metric_name,
     retry,
     typing_defs,
     worker_safety,

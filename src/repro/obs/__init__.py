@@ -1,6 +1,6 @@
 """repro.obs — the observability layer of the UMTS stack.
 
-Three pieces, threaded through every subsystem of the reproduction:
+Recording, threaded through every subsystem of the reproduction:
 
 - :class:`TraceBus` — structured events and spans stamped with
   sim-time (plus wall-time deltas for profiling), fanned out to
@@ -11,6 +11,17 @@ Three pieces, threaded through every subsystem of the reproduction:
 - :class:`FlightRecorder` — a bounded ring-buffer sink that freezes
   the last N events whenever an error event (a ``UmtsCommandError``,
   a failed dial phase) crosses the bus.
+
+Analysis and export, on top of the recordings:
+
+- :mod:`repro.obs.streaming` — constant-memory online aggregators
+  (windowed QoS stats, P² quantile sketches) fed sample-by-sample;
+- :mod:`repro.obs.exporter` — deterministic OpenMetrics text
+  exposition of any registry snapshot;
+- :mod:`repro.obs.timeline` — phase trees and critical-path analysis
+  reconstructed from recorded spans;
+- :class:`SimProfiler` — per-subsystem/per-process simulated-time
+  attribution, hung off ``sim.profile``.
 
 All hooks are zero-cost when nothing is attached: components check
 ``sim.trace``/``sim.metrics`` (both ``None`` by default) and the bus
@@ -32,15 +43,22 @@ Quick start::
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.exporter import render_openmetrics, write_openmetrics
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     WALL_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    MetricsMergeError,
     MetricsRegistry,
 )
-from repro.obs.sinks import FlightRecorder, JsonlSink, ListSink
+from repro.obs.profile import SimProfiler
+from repro.obs.sinks import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, JsonlSink, ListSink
+from repro.obs.streaming import P2Quantile, QuantileSketch, StreamingStats, StreamingWindows
+from repro.obs.timeline import Timeline
 from repro.obs.trace import (
     KIND_ERROR,
     KIND_EVENT,
@@ -65,14 +83,22 @@ class Observability:
     simulator, so nodes are bound explicitly with :meth:`bind_node`.
     """
 
-    def __init__(self, sim, flight_capacity: int = 256):
+    def __init__(self, sim, flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
         self.sim = sim
         self.trace = TraceBus(sim)
         self.metrics = MetricsRegistry()
         self.flight = FlightRecorder(capacity=flight_capacity)
         self.trace.attach(self.flight)
+        self.profiler: Optional[SimProfiler] = None
         sim.trace = self.trace
         sim.metrics = self.metrics
+
+    def enable_profiling(self) -> SimProfiler:
+        """Attach (or return the existing) :class:`SimProfiler`."""
+        if self.profiler is None:
+            self.profiler = SimProfiler()
+            self.sim.profile = self.profiler
+        return self.profiler
 
     def bind_node(self, node) -> None:
         """Point a PlanetLab node's netfilter dispatcher at the registry."""
@@ -90,14 +116,24 @@ class Observability:
         """Attach and return a :class:`JsonlSink` writing to ``target``."""
         return self.trace.attach(JsonlSink(target))
 
+    def timeline(self, sink: ListSink) -> Timeline:
+        """The phase tree reconstructed from a recorded sink."""
+        return Timeline.from_events(sink.events)
+
+    def openmetrics(self, include_volatile: bool = False) -> str:
+        """The registry as OpenMetrics text exposition."""
+        return render_openmetrics(self.metrics, include_volatile=include_volatile)
+
     def detach(self) -> None:
         """Remove the hooks from the simulator (instrumentation goes cold)."""
         self.sim.trace = None
         self.sim.metrics = None
+        self.sim.profile = None
 
 
 __all__ = [
     "Counter",
+    "DEFAULT_FLIGHT_CAPACITY",
     "FlightRecorder",
     "Gauge",
     "Histogram",
@@ -109,13 +145,22 @@ __all__ = [
     "KIND_TRANSITION",
     "LATENCY_BUCKETS",
     "ListSink",
+    "MetricsMergeError",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
     "Observability",
+    "P2Quantile",
+    "QuantileSketch",
+    "SimProfiler",
     "Span",
+    "StreamingStats",
+    "StreamingWindows",
+    "Timeline",
     "TraceBus",
     "TraceEvent",
     "WALL_BUCKETS",
     "format_event",
+    "render_openmetrics",
+    "write_openmetrics",
 ]

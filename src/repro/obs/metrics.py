@@ -20,6 +20,15 @@ LATENCY_BUCKETS: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0
 WALL_BUCKETS: Tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1)
 
 
+class MetricsMergeError(ValueError):
+    """A snapshot cannot be folded into this registry.
+
+    Raised for incompatible histogram bucket layouts and for snapshot
+    entries of unknown type — the failure modes that would otherwise
+    silently mis-add counts across campaign workers.
+    """
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -112,10 +121,16 @@ class Gauge:
             return
         self.updates += updates
         self.value = float(state["value"])  # type: ignore[arg-type]
-        if float(state["max"]) > self.max_value:  # type: ignore[arg-type]
-            self.max_value = float(state["max"])  # type: ignore[arg-type]
-        if float(state["min"]) < self.min_value:  # type: ignore[arg-type]
-            self.min_value = float(state["min"])  # type: ignore[arg-type]
+        # A worker that recorded no samples snapshots its extremes as
+        # None; guard them individually so a half-formed snapshot (or
+        # one round-tripped through a cache document) can never clobber
+        # real extremes with a TypeError mid-fold.
+        incoming_max = state["max"]
+        incoming_min = state["min"]
+        if incoming_max is not None and float(incoming_max) > self.max_value:  # type: ignore[arg-type]
+            self.max_value = float(incoming_max)  # type: ignore[arg-type]
+        if incoming_min is not None and float(incoming_min) < self.min_value:  # type: ignore[arg-type]
+            self.min_value = float(incoming_min)  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Gauge {self.name}={self.value}>"
@@ -204,7 +219,7 @@ class Histogram:
         """Fold another histogram's snapshot into this one (counts add)."""
         edges = [float(e) for e in state["edges"]]  # type: ignore[union-attr]
         if edges != list(self.buckets):
-            raise ValueError(
+            raise MetricsMergeError(
                 f"histogram {self.name!r} bucket mismatch: "
                 f"{edges!r} vs {list(self.buckets)!r}"
             )
@@ -215,10 +230,14 @@ class Histogram:
         self.overflow += int(state["overflow"])  # type: ignore[arg-type]
         self.count += int(state["count"])  # type: ignore[arg-type]
         self.total += float(state["sum"])  # type: ignore[arg-type]
-        if float(state["max"]) > self.max_value:  # type: ignore[arg-type]
-            self.max_value = float(state["max"])  # type: ignore[arg-type]
-        if float(state["min"]) < self.min_value:  # type: ignore[arg-type]
-            self.min_value = float(state["min"])  # type: ignore[arg-type]
+        # Same None-extreme guard as the gauge: empty-worker snapshots
+        # must not clobber (or crash on) real extremes.
+        incoming_max = state["max"]
+        incoming_min = state["min"]
+        if incoming_max is not None and float(incoming_max) > self.max_value:  # type: ignore[arg-type]
+            self.max_value = float(incoming_max)  # type: ignore[arg-type]
+        if incoming_min is not None and float(incoming_min) < self.min_value:  # type: ignore[arg-type]
+            self.min_value = float(incoming_min)  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count}>"
@@ -311,7 +330,7 @@ class MetricsRegistry:
                 edges = [float(e) for e in entry["edges"]]  # type: ignore[union-attr]
                 self.histogram(name, buckets=edges).merge_snapshot(entry)
             else:
-                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+                raise MetricsMergeError(f"metric {name!r} has unknown type {kind!r}")
         return self
 
     def summary_lines(self) -> List[str]:

@@ -16,6 +16,11 @@ from typing import Callable, List, Optional
 
 from repro.obs.trace import KIND_ERROR, TraceEvent, format_event
 
+#: Default :class:`FlightRecorder` ring size.  256 events is ~4 full
+#: datacall bring-ups of trace traffic — enough context to explain any
+#: single failure while bounding memory regardless of run length.
+DEFAULT_FLIGHT_CAPACITY = 256
+
 
 class ListSink:
     """Collect every event in order (tests and the CLI use this)."""
@@ -67,15 +72,18 @@ class JsonlSink:
 class FlightRecorder:
     """Bounded ring buffer that freezes a dump when an error flies by.
 
-    ``capacity`` bounds the ring; ``trigger_kinds`` are the event kinds
-    that cause a snapshot (by default only ``error``).  Each trigger
-    appends the frozen event list (trigger included, oldest first) to
-    :attr:`dumps`; ``on_dump`` is called with it for live reporting.
+    ``capacity`` bounds the ring (default
+    :data:`DEFAULT_FLIGHT_CAPACITY`); ``trigger_kinds`` are the event
+    kinds that cause a snapshot (by default only ``error``).  Each
+    trigger appends the frozen event list (trigger included, oldest
+    first) to :attr:`dumps`; ``on_dump`` is called with it for live
+    reporting.  :attr:`seen` counts every event that crossed the ring,
+    including the ones it has since evicted.
     """
 
     def __init__(
         self,
-        capacity: int = 256,
+        capacity: int = DEFAULT_FLIGHT_CAPACITY,
         trigger_kinds=(KIND_ERROR,),
         on_dump: Optional[Callable[[List[TraceEvent]], None]] = None,
     ):
@@ -86,10 +94,12 @@ class FlightRecorder:
         self.on_dump = on_dump
         self._ring: deque = deque(maxlen=capacity)
         self.dumps: List[List[TraceEvent]] = []
+        self.seen = 0
 
     def on_event(self, event: TraceEvent) -> None:
         """Record the event; snapshot the ring on a trigger kind."""
         self._ring.append(event)
+        self.seen += 1
         if event.kind in self.trigger_kinds:
             dump = list(self._ring)
             self.dumps.append(dump)

@@ -167,12 +167,20 @@ def run_sweep_job(payload: Dict[str, Any]) -> JobOutput:
     """One full characterization run; summary stats plus output digest."""
     from repro import cbr, run_characterization, voip_g711
     from repro.bench.determinism import run_digest
+    from repro.testbed.scenarios import OneLabScenario
 
     spec_fn = {"voip": voip_g711, "cbr": cbr}[payload["kind"]]
+    # Build the scenario explicitly so a fresh registry rides along;
+    # instrumentation never changes dispatch order, so the digest is
+    # the same as an unmetered run.
+    scenario = OneLabScenario(seed=payload["seed"])
+    metrics = MetricsRegistry()
+    scenario.sim.metrics = metrics
     result = run_characterization(
         spec_fn(duration=payload["duration"]),
         path=payload["path"],
         seed=payload["seed"],
+        scenario=scenario,
     )
     summary = result.summary
     stable = {
@@ -191,4 +199,4 @@ def run_sweep_job(payload: Dict[str, Any]) -> JobOutput:
             "max_rtt_s": summary.max_rtt,
         },
     }
-    return JobOutput(stable=stable, volatile={}, metrics={})
+    return JobOutput(stable=stable, volatile={}, metrics=metrics.snapshot())

@@ -260,6 +260,15 @@ class NegotiationFsm:
         self._terminate_counter = 0
         self._timer: Optional[Event] = None
         self._nego_span: Optional[Any] = None
+        # Trace/metric names built once here: hot paths must pass static
+        # names (metric-name lint rule), and the vocabulary is fixed by
+        # the subclass ("LCP"/"IPCP").
+        proto = self.protocol_name.lower()
+        self._state_event_name = "ppp." + proto + ".state"
+        self._transitions_counter_name = "ppp." + proto + ".transitions"
+        self._nego_span_name = "ppp." + proto + ".negotiation"
+        self._timeout_event_name = "ppp." + proto + ".timeout"
+        self._retransmits_counter_name = "ppp." + proto + ".retransmits"
 
     # -- observability -------------------------------------------------
 
@@ -272,7 +281,7 @@ class NegotiationFsm:
         trace = self.sim.trace
         if trace is not None:
             trace.emit(
-                f"ppp.{self.protocol_name.lower()}.state",
+                self._state_event_name,
                 kind="transition",
                 old=old_state.value,
                 new=new_state.value,
@@ -280,14 +289,12 @@ class NegotiationFsm:
             )
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(f"ppp.{self.protocol_name.lower()}.transitions").inc()
+            metrics.counter(self._transitions_counter_name).inc()
 
     def _begin_nego_span(self) -> None:
         trace = self.sim.trace
         if trace is not None:
-            self._nego_span = trace.span(
-                f"ppp.{self.protocol_name.lower()}.negotiation"
-            )
+            self._nego_span = trace.span(self._nego_span_name)
 
     def _end_nego_span(self, status: str, reason: str = "") -> None:
         span, self._nego_span = self._nego_span, None
@@ -480,7 +487,7 @@ class NegotiationFsm:
             trace = self.sim.trace
             if trace is not None:
                 trace.error(
-                    f"ppp.{self.protocol_name.lower()}.timeout",
+                    self._timeout_event_name,
                     protocol=self.protocol_name,
                 )
             if self.on_fail is not None:
@@ -489,9 +496,7 @@ class NegotiationFsm:
         self._send_configure_request()
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(
-                f"ppp.{self.protocol_name.lower()}.retransmits"
-            ).inc()
+            metrics.counter(self._retransmits_counter_name).inc()
 
     def _act_timeout_terminate(self) -> None:
         self._terminate_counter -= 1

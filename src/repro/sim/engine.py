@@ -15,7 +15,8 @@ beyond the first two fields and the :class:`Event` objects themselves
 are never compared.
 
 :meth:`Simulator.run` has two loops.  The **fast path** runs when
-``trace``, ``metrics`` and ``on_dispatch`` are all ``None`` (the
+``trace``, ``metrics``, ``profile`` and ``on_dispatch`` are all
+``None`` (the
 observability layer's no-sink contract): no ``time.perf_counter``
 pair, no histogram update, no per-event ``peek``/``step`` method-call
 round-trip.  Attaching instrumentation *mid-run* from inside a
@@ -97,6 +98,9 @@ class Simulator:
         self.metrics: Optional[Any] = None
         #: optional ``callback(event, wall_seconds)`` run after each dispatch.
         self.on_dispatch: Optional[Callable[[Event, float], None]] = None
+        #: optional :class:`~repro.obs.SimProfiler` fed once per dispatch
+        #: (same zero-cost-when-``None`` contract as ``metrics``).
+        self.profile: Optional[Any] = None
         #: optional :class:`~repro.faults.FaultRegistry`; injection
         #: points check this before consulting fault plans, so ``None``
         #: keeps unfaulted runs bit-identical.
@@ -158,7 +162,7 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = when
-            if self.metrics is None and self.on_dispatch is None:
+            if self.metrics is None and self.on_dispatch is None and self.profile is None:
                 event.callback(*event.args)
             else:
                 self._dispatch_instrumented(event)
@@ -177,6 +181,9 @@ class Simulator:
                 elapsed
             )
             metrics.gauge("engine.queue_depth").set(len(self._heap))
+        profile = self.profile
+        if profile is not None:
+            profile.record(event, self._now, elapsed)
         if self.on_dispatch is not None:
             self.on_dispatch(event, elapsed)
 
@@ -188,14 +195,19 @@ class Simulator:
         the clock is advanced exactly to ``until``.  Returns the final
         clock value.
 
-        When ``trace``, ``metrics`` and ``on_dispatch`` are all ``None``
-        a tight fast path is used; dispatch order is identical either
-        way.
+        When ``trace``, ``metrics``, ``profile`` and ``on_dispatch``
+        are all ``None`` a tight fast path is used; dispatch order is
+        identical either way.
         """
         self._running = True
         self._stopped = False
         try:
-            if self.trace is None and self.metrics is None and self.on_dispatch is None:
+            if (
+                self.trace is None
+                and self.metrics is None
+                and self.on_dispatch is None
+                and self.profile is None
+            ):
                 self._run_fast(until)
             else:
                 self._run_instrumented(until)

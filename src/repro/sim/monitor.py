@@ -5,12 +5,20 @@ over non-overlapping windows of 200 milliseconds".  :class:`TimeSeries`
 stores raw (time, value) samples; :meth:`TimeSeries.window_average` and
 friends produce exactly that kind of windowed series, which the benches
 print as the figures' data rows.
+
+The standard aggregations (mean/sum/count) stream through
+:class:`repro.obs.streaming.StreamingWindows` — constant memory beyond
+the output, same floats as the historical bucket-table implementation.
+:meth:`TimeSeries.window_aggregate` keeps the buffered path for
+arbitrary aggregation callables.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.streaming import StreamingWindows
 
 
 class TimeSeries:
@@ -109,25 +117,40 @@ class TimeSeries:
             out.add(start + i * window, value)
         return out
 
+    def _window_streaming(
+        self, window: float, mode: str, start: float, end: Optional[float]
+    ) -> "TimeSeries":
+        """Stream the samples through one online window aggregator."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        if end is None:
+            end = self.times[-1] + window if self.times else start
+        agg = StreamingWindows(window, mode=mode, start=start, end=end)
+        for t, v in zip(self.times, self.values):
+            agg.add(t, v)
+        times, values = agg.finish()
+        out = TimeSeries(self.name)
+        out.times = times
+        out.values = values
+        return out
+
     def window_average(
         self, window: float, start: float = 0.0, end: Optional[float] = None
     ) -> "TimeSeries":
         """Windowed arithmetic mean (the paper's reporting method)."""
-        return self.window_aggregate(
-            window, lambda vs: sum(vs) / len(vs), start=start, end=end
-        )
+        return self._window_streaming(window, "mean", start, end)
 
     def window_sum(
         self, window: float, start: float = 0.0, end: Optional[float] = None
     ) -> "TimeSeries":
         """Windowed sum; empty windows yield 0 (e.g. bytes per window)."""
-        return self.window_aggregate(window, sum, start=start, end=end, empty_value=0.0)
+        return self._window_streaming(window, "sum", start, end)
 
     def window_count(
         self, window: float, start: float = 0.0, end: Optional[float] = None
     ) -> "TimeSeries":
         """Windowed sample count; empty windows yield 0."""
-        return self.window_aggregate(window, len, start=start, end=end, empty_value=0.0)
+        return self._window_streaming(window, "count", start, end)
 
     def as_pairs(self) -> List[Tuple[float, float]]:
         """The series as a list of (time, value) tuples."""

@@ -17,8 +17,9 @@ windows of 200 milliseconds":
 from __future__ import annotations
 
 import math
-from typing import NamedTuple, Optional
+from typing import Iterable, NamedTuple, Optional, Tuple
 
+from repro.obs.streaming import StreamingWindows
 from repro.sim.monitor import TimeSeries
 from repro.traffic.records import ReceiverLog, SenderLog
 
@@ -94,59 +95,92 @@ class ItgDecoder:
         """Received records in arrival order (logs may interleave)."""
         return sorted(self.receiver_log.received, key=lambda r: r.received_at)
 
+    def _windowed(
+        self,
+        name: str,
+        mode: str,
+        samples: Iterable[Tuple[float, float]],
+        end: float,
+    ) -> TimeSeries:
+        """Stream time-ordered samples straight into the paper's windows.
+
+        No raw per-sample series is buffered: one online aggregator per
+        call, constant memory beyond the windowed output itself.
+        """
+        agg = StreamingWindows(self.window, mode=mode, start=0.0, end=end)
+        for t, value in samples:
+            agg.add(t, value)
+        times, values = agg.finish()
+        out = TimeSeries(name)
+        out.times = times
+        out.values = values
+        return out
+
     def bitrate_kbps(self, end: Optional[float] = None) -> TimeSeries:
         """Received payload bitrate per window, in kbit/s."""
-        raw = TimeSeries("bitrate")
-        for record in self._arrivals():
-            raw.add(record.received_at - self.origin, record.size * 8.0)
-        series = raw.window_sum(self.window, start=0.0, end=self._span(end) - self.origin)
-        out = TimeSeries("bitrate_kbps")
-        for t, bits in series.as_pairs():
-            out.add(t, bits / self.window / 1000.0)
-        return out
+        series = self._windowed(
+            "bitrate_kbps",
+            "sum",
+            (
+                (record.received_at - self.origin, record.size * 8.0)
+                for record in self._arrivals()
+            ),
+            self._span(end) - self.origin,
+        )
+        series.values = [bits / self.window / 1000.0 for bits in series.values]
+        return series
 
     def owd_series(self, end: Optional[float] = None) -> TimeSeries:
         """Mean one-way delay per window, in seconds."""
-        raw = TimeSeries("owd")
-        for record in self._arrivals():
-            raw.add(record.received_at - self.origin, record.owd)
-        return raw.window_average(
-            self.window, start=0.0, end=self._span(end) - self.origin
+        return self._windowed(
+            "owd",
+            "mean",
+            (
+                (record.received_at - self.origin, record.owd)
+                for record in self._arrivals()
+            ),
+            self._span(end) - self.origin,
         )
 
-    def jitter_series(self, end: Optional[float] = None) -> TimeSeries:
-        """Mean |OWD variation| between consecutive arrivals, per window."""
-        raw = TimeSeries("jitter")
+    def _jitter_samples(self) -> Iterable[Tuple[float, float]]:
         previous_owd = None
         for record in self._arrivals():
             if previous_owd is not None:
-                raw.add(record.received_at - self.origin, abs(record.owd - previous_owd))
+                yield record.received_at - self.origin, abs(record.owd - previous_owd)
             previous_owd = record.owd
-        return raw.window_average(
-            self.window, start=0.0, end=self._span(end) - self.origin
+
+    def jitter_series(self, end: Optional[float] = None) -> TimeSeries:
+        """Mean |OWD variation| between consecutive arrivals, per window."""
+        return self._windowed(
+            "jitter", "mean", self._jitter_samples(), self._span(end) - self.origin
         )
 
     def loss_series(self, end: Optional[float] = None) -> TimeSeries:
         """Packets lost per window (binned by send time)."""
-        raw = TimeSeries("loss")
-        for record in sorted(self.sender_log.sent, key=lambda r: r.sent_at):
-            lost = 0.0 if self.receiver_log.has_seq(record.seq) else 1.0
-            raw.add(record.sent_at - self.origin, lost)
-        return raw.window_sum(
-            self.window, start=0.0, end=self.send_end - self.origin + self.window
+        return self._windowed(
+            "loss",
+            "sum",
+            (
+                (
+                    record.sent_at - self.origin,
+                    0.0 if self.receiver_log.has_seq(record.seq) else 1.0,
+                )
+                for record in sorted(self.sender_log.sent, key=lambda r: r.sent_at)
+            ),
+            self.send_end - self.origin + self.window,
         )
 
     def rtt_series(self, end: Optional[float] = None) -> TimeSeries:
         """Mean RTT per window (binned by probe send time), seconds."""
-        raw = TimeSeries("rtt")
         samples = sorted(
             (record.completed_at - record.rtt, record.rtt)
             for record in self.sender_log.rtt
         )
-        for sent_at, rtt in samples:
-            raw.add(sent_at - self.origin, rtt)
-        return raw.window_average(
-            self.window, start=0.0, end=self.send_end - self.origin + self.window
+        return self._windowed(
+            "rtt",
+            "mean",
+            ((sent_at - self.origin, rtt) for sent_at, rtt in samples),
+            self.send_end - self.origin + self.window,
         )
 
     # -- summary -----------------------------------------------------------

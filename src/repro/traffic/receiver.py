@@ -6,6 +6,7 @@ from typing import Dict
 
 from repro.net.errors import NetworkError
 from repro.net.socket import UDPSocket
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.sim.engine import Simulator
 from repro.traffic.records import ProbePayload, ReceiverLog, RecvRecord
 
@@ -47,6 +48,12 @@ class ItgReceiver:
                 received_at=self.sim.now,
             )
         )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("traffic.packets_received").inc()
+            metrics.histogram("traffic.owd_seconds", LATENCY_BUCKETS).observe(
+                self.sim.now - packet.sent_at
+            )
         if payload.meter == "rtt":
             reply = ProbePayload(payload.flow_id, payload.seq, kind="reply")
             try:

@@ -9,6 +9,7 @@ from typing import Optional
 from repro.net.addressing import AddressLike
 from repro.net.errors import NetworkError
 from repro.net.socket import UDPSocket
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
 from repro.traffic.flows import MAX_PAYLOAD, MIN_PAYLOAD, FlowSpec
@@ -96,6 +97,9 @@ class ItgSender:
         self.log.sent.append(SentRecord(seq, size, now))
         if self.spec.meter == "rtt":
             self._sent_times[seq] = now
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("traffic.packets_sent").inc()
 
     def _on_receive(self, payload, src, sport, packet) -> None:
         if not isinstance(payload, ProbePayload):
@@ -107,6 +111,11 @@ class ItgSender:
             return
         now = self.sim.now
         self.log.rtt.append(RttRecord(payload.seq, now - sent_at, now))
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.histogram("traffic.rtt_seconds", LATENCY_BUCKETS).observe(
+                now - sent_at
+            )
 
     @property
     def finished(self) -> bool:

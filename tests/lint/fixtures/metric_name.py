@@ -1,0 +1,58 @@
+"""Fixture: runtime-built and malformed telemetry names."""
+
+PRECOMPUTED = "umts.cmd.start"
+
+
+class FakeMetrics:
+    def counter(self, name):
+        return self
+
+    def gauge(self, name):
+        return self
+
+    def histogram(self, name, buckets):
+        return self
+
+    def inc(self):
+        pass
+
+
+def fstring_name(metrics, command):
+    metrics.counter(f"umts.cmd.{command}").inc()  # line 21: metric-name
+
+
+def concatenated_name(metrics, xid):
+    metrics.counter("netfilter.dropped.xid." + str(xid)).inc()  # line 25
+
+
+def inline_str_builder(metrics, xid):
+    metrics.gauge(str(xid)).inc()  # line 29: metric-name
+
+
+def format_builder(metrics, proto):
+    metrics.counter("ppp.{}.transitions".format(proto)).inc()  # line 33
+
+
+def bad_literal(metrics):
+    metrics.counter("UMTS-Commands").inc()  # line 37: not [a-z][a-z0-9_.]*
+
+
+def fstring_span(trace, phase):
+    with trace.span(f"dial.{phase}"):  # line 41: metric-name
+        pass
+
+
+def good_literal(metrics):
+    metrics.counter("umts.cmd.start").inc()  # allowed: static literal
+
+
+def good_variable(metrics):
+    metrics.counter(PRECOMPUTED).inc()  # allowed: precomputed name
+
+
+def good_accessor(metrics, names, xid):
+    metrics.counter(names.get(xid)).inc()  # allowed: amortized lookup
+
+
+def excused(metrics, command):
+    metrics.counter(f"umts.cmd.{command}").inc()  # lint: allow(metric-name) -- fixture pragma check

@@ -214,3 +214,39 @@ class TestRealTransitionTable:
         assert lint_paths(
             [ppp / "lcp.py", ppp / "ipcp.py"], rule_ids=["fsm-policy-override"]
         ) == []
+
+
+class TestMetricName:
+    def test_flags_every_runtime_built_name(self):
+        findings = findings_for("metric_name.py", "metric-name")
+        assert locations(findings) == [
+            (21, "metric-name"),
+            (25, "metric-name"),
+            (29, "metric-name"),
+            (33, "metric-name"),
+            (37, "metric-name"),
+            (41, "metric-name"),
+        ]
+        assert "f-string" in findings[0].message
+        assert "concatenation" in findings[1].message
+        assert "str()" in findings[2].message
+        assert ".format()" in findings[3].message
+        assert "not a valid metric name" in findings[4].message
+        assert ".span()" in findings[5].message
+
+    def test_static_and_precomputed_names_pass(self):
+        lines = [f.line for f in findings_for("metric_name.py", "metric-name")]
+        assert 46 not in lines  # static literal
+        assert 50 not in lines  # precomputed variable
+        assert 54 not in lines  # amortized accessor call
+        assert 58 not in lines  # suppressed by pragma
+
+    def test_hot_paths_in_tree_are_clean(self):
+        src = Path(__file__).parents[2] / "src" / "repro"
+        targets = [
+            src / "core" / "backend.py",
+            src / "core" / "connection.py",
+            src / "netfilter" / "chains.py",
+            src / "ppp" / "fsm.py",
+        ]
+        assert lint_paths(targets, rule_ids=["metric-name"]) == []

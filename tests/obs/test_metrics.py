@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import Counter, Gauge, Histogram, MetricsMergeError, MetricsRegistry
 
 
 def test_counter_increments():
@@ -166,17 +166,54 @@ class TestSnapshotMerge:
         assert merged.gauge("idle").updates == 0
         assert merged.snapshot() == src.snapshot()
 
+    def test_merge_empty_snapshot_is_a_noop(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.merge({})
+        assert registry.snapshot() == before
+
+    def test_merge_into_empty_registry_equals_the_donor(self):
+        donor = self._populated()
+        assert MetricsRegistry().merge(donor.snapshot()).snapshot() == donor.snapshot()
+
     def test_merge_rejects_histogram_edge_mismatch(self):
         a = MetricsRegistry()
         a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
         b = MetricsRegistry()
         b.histogram("h", buckets=(1.0, 5.0)).observe(1.5)
-        with pytest.raises(ValueError, match="bucket mismatch"):
+        with pytest.raises(MetricsMergeError, match="bucket mismatch"):
             b.merge(a.snapshot())
 
     def test_merge_rejects_unknown_type(self):
-        with pytest.raises(ValueError, match="unknown type"):
+        with pytest.raises(MetricsMergeError, match="unknown type"):
             MetricsRegistry().merge({"x": {"type": "summary"}})
+
+    def test_merge_error_is_a_value_error(self):
+        # Callers that predate the typed error still catch it.
+        assert issubclass(MetricsMergeError, ValueError)
+
+    def test_gauge_merge_guards_none_extremes_both_ways(self):
+        touched = MetricsRegistry()
+        touched.gauge("depth").set(4.0)
+        untouched = MetricsRegistry()
+        untouched.gauge("depth")  # created, never set: extremes are None
+        forward = MetricsRegistry().merge(touched.snapshot())
+        forward.merge(untouched.snapshot())
+        assert forward.gauge("depth").max_value == 4.0
+        assert forward.gauge("depth").min_value == 4.0
+        backward = MetricsRegistry().merge(untouched.snapshot())
+        backward.merge(touched.snapshot())
+        assert backward.gauge("depth").max_value == 4.0
+        assert backward.gauge("depth").updates == 1
+
+    def test_histogram_merge_guards_none_extremes(self):
+        empty = MetricsRegistry()
+        empty.histogram("lat", buckets=(1.0,))
+        full = MetricsRegistry()
+        full.histogram("lat", buckets=(1.0,)).observe(0.5)
+        merged = MetricsRegistry().merge(full.snapshot()).merge(empty.snapshot())
+        assert merged.histogram("lat").max_value == 0.5
+        assert merged.histogram("lat").count == 1
 
     def test_merge_rejects_kind_mismatch(self):
         registry = MetricsRegistry()

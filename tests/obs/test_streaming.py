@@ -1,0 +1,231 @@
+"""Streaming aggregators: parity with the buffered implementations.
+
+The whole point of :mod:`repro.obs.streaming` is that swapping it in
+under the analysis layer moves no golden digest — so these tests prove
+*bit-for-bit* float equality against ``TimeSeries.window_aggregate``,
+not approximate agreement.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.obs.streaming import (
+    QOS_WINDOW,
+    WINDOW_MODES,
+    P2Quantile,
+    QuantileSketch,
+    StreamingStats,
+    StreamingWindows,
+    stream_windowed,
+)
+from repro.sim.monitor import TimeSeries
+
+
+def _series(seed: int, n: int = 400, max_dt: float = 0.07) -> TimeSeries:
+    rng = random.Random(seed)
+    series = TimeSeries("s")
+    t = 0.0
+    for _ in range(n):
+        t += rng.uniform(0.0, max_dt)
+        series.add(t, rng.uniform(-5.0, 50.0))
+    return series
+
+
+def _values_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if math.isnan(x) or math.isnan(y):
+            assert math.isnan(x) and math.isnan(y)
+        else:
+            assert x == y  # exact: same left-to-right accumulation
+
+
+BUFFERED_FUNCS = {
+    "mean": lambda vs: sum(vs) / len(vs),
+    "sum": sum,
+    "count": lambda vs: float(len(vs)),
+    "max": max,
+    "min": min,
+}
+
+
+class TestStreamingWindows:
+    @pytest.mark.parametrize("mode", WINDOW_MODES)
+    def test_bitwise_parity_with_window_aggregate(self, mode):
+        series = _series(seed=11)
+        empty = 0.0 if mode in ("sum", "count") else math.nan
+        buffered = series.window_aggregate(
+            QOS_WINDOW, BUFFERED_FUNCS[mode], empty_value=empty
+        )
+        times, values = stream_windowed(
+            series.as_pairs(), QOS_WINDOW, mode, empty_value=empty,
+            end=series.times[-1] + QOS_WINDOW,
+        )
+        assert times == buffered.times
+        _values_equal(values, buffered.values)
+
+    def test_parity_with_explicit_start_and_end(self):
+        series = _series(seed=7)
+        start, end = 1.0, 12.5
+        buffered = series.window_aggregate(
+            0.5, BUFFERED_FUNCS["mean"], start=start, end=end
+        )
+        times, values = stream_windowed(
+            series.as_pairs(), 0.5, "mean", start=start, end=end
+        )
+        assert times == buffered.times
+        _values_equal(values, buffered.values)
+
+    def test_sample_at_end_is_dropped_and_edge_overflow_clamps(self):
+        agg = StreamingWindows(1.0, mode="count", start=0.0, end=3.0)
+        agg.add(0.5, 1.0)
+        agg.add(2.9999999, 1.0)  # float division may round to index 3
+        agg.add(3.0, 1.0)        # exactly at end: dropped
+        times, values = agg.finish()
+        assert times == [0.0, 1.0, 2.0]
+        assert values == [1.0, 0.0, 1.0]
+
+    def test_gap_windows_get_the_empty_value(self):
+        times, values = stream_windowed(
+            [(0.1, 2.0), (2.1, 4.0)], 1.0, "mean", end=3.0
+        )
+        assert times == [0.0, 1.0, 2.0]
+        assert values[0] == 2.0
+        assert math.isnan(values[1])
+        assert values[2] == 4.0
+
+    def test_time_must_not_regress_across_windows(self):
+        agg = StreamingWindows(1.0, mode="sum")
+        agg.add(2.5, 1.0)
+        with pytest.raises(ValueError, match="already closed"):
+            agg.add(0.5, 1.0)
+
+    def test_add_after_finish_raises(self):
+        agg = StreamingWindows(1.0)
+        agg.add(0.5, 1.0)
+        agg.finish()
+        with pytest.raises(ValueError, match="finished"):
+            agg.add(1.5, 1.0)
+
+    def test_finish_is_idempotent(self):
+        agg = StreamingWindows(1.0, mode="sum", end=2.0)
+        agg.add(0.5, 3.0)
+        first = agg.finish()
+        assert agg.finish() == first
+        assert len(agg) == 2
+
+    def test_rejects_bad_window_and_mode(self):
+        with pytest.raises(ValueError):
+            StreamingWindows(0.0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            StreamingWindows(1.0, mode="median")
+
+    def test_empty_stream_with_end_pads_everything(self):
+        times, values = StreamingWindows(1.0, mode="count", end=2.5).finish()
+        assert times == [0.0, 1.0, 2.0]
+        assert values == [0.0, 0.0, 0.0]
+
+    def test_empty_stream_without_end_is_empty(self):
+        assert StreamingWindows(1.0).finish() == ([], [])
+
+
+class TestStreamingStats:
+    def test_matches_buffered_mean_exactly(self):
+        rng = random.Random(5)
+        samples = [rng.uniform(-3.0, 9.0) for _ in range(1000)]
+        stats = StreamingStats()
+        for value in samples:
+            stats.observe(value)
+        assert stats.count == 1000
+        assert stats.total == sum(samples)
+        assert stats.mean == sum(samples) / len(samples)
+        assert stats.minimum == min(samples)
+        assert stats.maximum == max(samples)
+        assert stats.stdev == pytest.approx(statistics.pstdev(samples))
+
+    def test_nan_samples_are_skipped(self):
+        stats = StreamingStats()
+        stats.observe(2.0)
+        stats.observe(math.nan)
+        stats.observe(4.0)
+        assert stats.count == 2
+        assert stats.mean == 3.0
+
+    def test_empty_stats_export_nan(self):
+        snapshot = StreamingStats().as_dict()
+        assert snapshot["count"] == 0
+        assert math.isnan(snapshot["mean"])
+        assert math.isnan(snapshot["min"])
+
+
+class TestP2Quantile:
+    def test_exact_order_statistics_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.observe(value)
+        assert estimator.value == 3.0
+
+    def test_tracks_the_median_of_a_uniform_stream(self):
+        rng = random.Random(17)
+        estimator = P2Quantile(0.5)
+        for _ in range(5000):
+            estimator.observe(rng.uniform(0.0, 1.0))
+        assert estimator.value == pytest.approx(0.5, abs=0.05)
+
+    def test_tracks_the_tail_of_a_uniform_stream(self):
+        rng = random.Random(23)
+        estimator = P2Quantile(0.9)
+        for _ in range(5000):
+            estimator.observe(rng.uniform(0.0, 1.0))
+        assert estimator.value == pytest.approx(0.9, abs=0.05)
+
+    def test_deterministic_for_a_given_sequence(self):
+        samples = [math.sin(i * 0.7) * 10.0 for i in range(500)]
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        for value in samples:
+            a.observe(value)
+            b.observe(value)
+        assert a.value == b.value
+
+    def test_nan_has_no_rank(self):
+        estimator = P2Quantile(0.5)
+        for value in (1.0, math.nan, 3.0):
+            estimator.observe(value)
+        assert estimator.count == 2
+        assert estimator.value == 2.0
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_estimate_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+
+class TestQuantileSketch:
+    def test_exports_every_configured_quantile(self):
+        sketch = QuantileSketch("rtt")
+        rng = random.Random(3)
+        for _ in range(2000):
+            sketch.observe(rng.uniform(0.0, 1.0))
+        snapshot = sketch.as_dict()
+        assert {"count", "mean", "p50", "p90", "p99"} <= set(snapshot)
+        assert snapshot["count"] == 2000
+        assert snapshot["p50"] <= snapshot["p90"] <= snapshot["p99"]
+
+    def test_quantile_lookup_matches_estimator(self):
+        sketch = QuantileSketch(quantiles=(0.5,))
+        for value in (1.0, 2.0, 3.0):
+            sketch.observe(value)
+        assert sketch.quantile(0.5) == 2.0
+        with pytest.raises(KeyError):
+            sketch.quantile(0.25)
+
+    def test_needs_at_least_one_quantile(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(quantiles=())

@@ -1,0 +1,175 @@
+"""Phase-tree reconstruction, critical path, retry/fault attribution."""
+
+from repro import OneLabScenario
+from repro.obs import (
+    KIND_ERROR,
+    KIND_EVENT,
+    KIND_SPAN_END,
+    KIND_SPAN_START,
+    Observability,
+    Timeline,
+)
+from repro.obs.timeline import FAULT_EVENT, RETRY_EVENT
+
+_SEQ = iter(range(1, 10000))
+
+
+def _start(t, name, span, parent=None):
+    return {"seq": next(_SEQ), "t": t, "kind": KIND_SPAN_START, "name": name,
+            "span": span, "parent": parent}
+
+
+def _end(t, name, span, status="ok"):
+    return {"seq": next(_SEQ), "t": t, "kind": KIND_SPAN_END, "name": name,
+            "span": span, "status": status}
+
+
+def _event(t, name, kind=KIND_EVENT):
+    return {"seq": next(_SEQ), "t": t, "kind": kind, "name": name}
+
+
+class TestReconstruction:
+    def test_temporal_nesting_builds_the_tree(self):
+        timeline = Timeline.from_events([
+            _start(0.0, "connect", 1),
+            _start(1.0, "register", 2),
+            _end(4.0, "register", 2),
+            _start(4.0, "dial", 3),
+            _end(6.0, "dial", 3),
+            _end(6.5, "connect", 1),
+        ])
+        (root,) = timeline.roots
+        assert root.name == "connect"
+        assert [child.name for child in root.children] == ["register", "dial"]
+        assert root.duration == 6.5
+        assert root.children[0].duration == 3.0
+        assert root.self_time == 6.5 - 3.0 - 2.0
+
+    def test_explicit_parent_beats_the_open_stack(self):
+        timeline = Timeline.from_events([
+            _start(0.0, "outer", 1),
+            _start(1.0, "sibling", 2),
+            _start(2.0, "adopted", 3, parent=1),
+            _end(3.0, "adopted", 3),
+            _end(4.0, "sibling", 2),
+            _end(5.0, "outer", 1),
+        ])
+        (root,) = timeline.roots
+        assert {child.name for child in root.children} == {"sibling", "adopted"}
+        (sibling,) = [c for c in root.children if c.name == "sibling"]
+        assert sibling.children == []
+
+    def test_end_without_start_is_tolerated(self):
+        # A truncated ring (flight recorder) can drop the start event.
+        timeline = Timeline.from_events([
+            _end(2.0, "lost", 9),
+            _start(3.0, "kept", 10),
+            _end(4.0, "kept", 10),
+        ])
+        assert [root.name for root in timeline.roots] == ["kept"]
+        assert timeline.events_seen == 3
+
+    def test_open_span_has_no_duration(self):
+        timeline = Timeline.from_events([_start(1.0, "hung", 1)])
+        (root,) = timeline.roots
+        assert root.duration is None
+        assert root.self_time is None
+
+    def test_phase_totals_aggregate_instances(self):
+        timeline = Timeline.from_events([
+            _start(0.0, "nego", 1), _end(1.0, "nego", 1),
+            _start(2.0, "nego", 2), _end(5.0, "nego", 2),
+        ])
+        assert timeline.phase_totals() == {"nego": (2, 4.0)}
+        assert len(timeline.find("nego")) == 2
+
+
+class TestAttribution:
+    def test_retries_faults_errors_charge_the_innermost_open_span(self):
+        timeline = Timeline.from_events([
+            _start(0.0, "connect", 1),
+            _start(1.0, "dial", 2),
+            _event(1.5, RETRY_EVENT),
+            _event(1.6, FAULT_EVENT),
+            _event(1.7, "dial.failed", kind=KIND_ERROR),
+            _end(2.0, "dial", 2, status="error"),
+            _event(2.5, RETRY_EVENT),
+            _end(3.0, "connect", 1),
+        ])
+        (connect,) = timeline.roots
+        (dial,) = connect.children
+        assert (dial.retries, dial.faults, dial.errors) == (1, 1, 1)
+        assert connect.retries == 1  # fired after dial closed
+        assert timeline.attribution() == {
+            "connect": {"retries": 1, "faults": 0, "errors": 0},
+            "dial": {"retries": 1, "faults": 1, "errors": 1},
+        }
+
+    def test_events_outside_any_span_are_dropped(self):
+        timeline = Timeline.from_events([_event(0.5, RETRY_EVENT)])
+        assert timeline.roots == []
+        assert timeline.events_seen == 1
+
+
+class TestCriticalPath:
+    def _tree(self):
+        return Timeline.from_events([
+            _start(0.0, "root", 1),
+            _start(0.0, "short", 2), _end(1.0, "short", 2),
+            _start(1.0, "long", 3),
+            _start(1.0, "inner", 4), _end(4.5, "inner", 4),
+            _end(5.0, "long", 3),
+            _end(5.0, "root", 1),
+        ])
+
+    def test_follows_the_longest_child_chain(self):
+        path = self._tree().critical_path()
+        assert [node.name for node in path] == ["root", "long", "inner"]
+
+    def test_ties_break_toward_the_earlier_span(self):
+        timeline = Timeline.from_events([
+            _start(0.0, "root", 1),
+            _start(0.0, "first", 2), _end(2.0, "first", 2),
+            _start(2.0, "second", 3), _end(4.0, "second", 3),
+            _end(4.0, "root", 1),
+        ])
+        assert [n.name for n in timeline.critical_path()] == ["root", "first"]
+
+    def test_empty_and_open_only_timelines_have_no_path(self):
+        assert Timeline.from_events([]).critical_path() == []
+        assert Timeline.from_events([_start(0.0, "open", 1)]).critical_path() == []
+
+    def test_records_flag_the_critical_chain(self):
+        records = self._tree().records()
+        critical = [r["phase"] for r in records if r["critical"]]
+        assert critical == ["root", "long", "inner"]
+        for record in records:
+            assert {"record", "phase", "start", "duration", "status",
+                    "depth", "retries", "faults", "errors"} <= set(record)
+
+    def test_report_lines_name_the_path(self):
+        lines = self._tree().report_lines()
+        assert any(line.startswith("critical path: root > long > inner")
+                   for line in lines)
+
+
+class TestRealRun:
+    def test_demo_bring_up_reconstructs_the_paper_phases(self):
+        scenario = OneLabScenario(seed=3)
+        obs = Observability(scenario.sim)
+        obs.bind_node(scenario.napoli)
+        events = obs.record_events()
+        umts = scenario.umts_command()
+        assert umts.start_blocking().ok
+        umts.stop_blocking()
+        timeline = obs.timeline(events)
+        totals = timeline.phase_totals()
+        for phase in ("vsys.request", "umts.cmd", "umts.connect",
+                      "dial.register", "dial.dial", "ppp.lcp.negotiation",
+                      "ppp.ipcp.negotiation"):
+            assert phase in totals, f"missing phase {phase}"
+        path = [node.name for node in timeline.critical_path()]
+        assert path[:3] == ["vsys.request", "umts.cmd", "umts.connect"]
+        # TraceEvent objects and their to_dict() forms build equal trees.
+        from_dicts = Timeline.from_events([e.to_dict() for e in events.events])
+        assert from_dicts.phase_totals() == totals

@@ -156,7 +156,14 @@ class TestMetricsFold:
 
 
 class TestMetricsRegistryDefault:
-    def test_campaign_without_metrics_yields_empty_registry(self):
+    def test_sweep_jobs_ship_simulated_metrics(self):
         campaign = run_campaign(SWEEP[:1], workers=1)
+        assert isinstance(campaign.metrics, MetricsRegistry)
+        assert campaign.metrics.counter("engine.events_dispatched").value > 0
+        assert campaign.metrics.counter("traffic.packets_sent").value > 0
+
+    def test_campaign_without_metrics_yields_empty_registry(self):
+        jobs = bench_jobs(["vsys_rpc"], repeats=1, warmup=0)
+        campaign = run_campaign(jobs, workers=1)
         assert isinstance(campaign.metrics, MetricsRegistry)
         assert len(campaign.metrics) == 0

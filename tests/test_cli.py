@@ -46,6 +46,89 @@ def test_trace_jsonl_export(tmp_path, capsys):
     assert {"seq", "t", "kind", "name"} <= set(record)
 
 
+def test_trace_last_bounds_the_printed_ring(capsys):
+    assert main(["trace", "--last", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "trace: last 5 of" in out
+    # Early bring-up events must have been evicted from the ring.
+    assert "dial.register" not in out
+    assert "metrics:" in out
+
+
+def test_trace_last_rejects_nonpositive(capsys):
+    assert main(["trace", "--last", "0"]) == 2
+    assert "--last must be positive" in capsys.readouterr().err
+
+
+def test_report_run_mode(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "run report: seed=3" in out
+    assert "critical path: vsys.request > umts.cmd > umts.connect" in out
+    assert "by subsystem" in out
+    assert "by process" in out
+    assert "metrics:" in out
+
+
+def test_report_openmetrics_double_run_is_byte_identical(tmp_path):
+    first, second = tmp_path / "a.om", tmp_path / "b.om"
+    assert main(["report", "--openmetrics", str(first)]) == 0
+    assert main(["report", "--openmetrics", str(second)]) == 0
+    data = first.read_bytes()
+    assert data == second.read_bytes()
+    assert data.startswith(b"# TYPE repro_")
+    assert data.endswith(b"# EOF\n")
+    assert b"wall" not in data  # volatile families excluded by default
+
+
+def test_report_openmetrics_to_stdout(capsys):
+    assert main(["report", "--openmetrics"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# TYPE repro_")
+    assert out.endswith("# EOF\n")
+    assert "run report" not in out  # exposition only, nothing mixed in
+
+
+def test_report_jsonl_records(tmp_path):
+    path = tmp_path / "report.jsonl"
+    assert main(["report", "--jsonl", str(path)]) == 0
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    kinds = [record["record"] for record in records]
+    assert kinds.count("profile") == 1
+    assert kinds.count("metrics") == 1
+    assert kinds.count("phase") > 5
+    phases = {r["phase"] for r in records if r["record"] == "phase"}
+    assert "umts.connect" in phases
+    assert any(r["critical"] for r in records if r["record"] == "phase")
+    (metrics,) = [r for r in records if r["record"] == "metrics"]
+    assert "engine.events_dispatched" in metrics["metrics"]
+    assert "engine.dispatch_wall_seconds" not in metrics["metrics"]
+
+
+def test_report_campaign_openmetrics_identical_across_workers(tmp_path):
+    serial, pooled = tmp_path / "j1.om", tmp_path / "j2.om"
+    base = ["report", "--campaign", "sweep", "--seeds", "1:2",
+            "--duration", "5", "--no-cache"]
+    assert main(base + ["-j", "1", "--openmetrics", str(serial)]) == 0
+    assert main(base + ["-j", "2", "--openmetrics", str(pooled)]) == 0
+    data = serial.read_bytes()
+    assert data == pooled.read_bytes()
+    assert b"repro_traffic_packets_sent_total" in data
+
+
+def test_report_campaign_human_summary(capsys):
+    assert main(["report", "--campaign", "sweep", "--seeds", "1",
+                 "--duration", "5", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep campaign: 1 job(s)" in out
+    assert "traffic.packets_sent" in out
+
+
+def test_report_rejects_bad_seed_spec(capsys):
+    assert main(["report", "--campaign", "sweep", "--seeds", "9:1"]) == 2
+    assert "bad seed range" in capsys.readouterr().err
+
+
 def test_voip_command(capsys):
     assert main(["--seed", "5", "voip", "--duration", "5"]) == 0
     out = capsys.readouterr().out

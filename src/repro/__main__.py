@@ -27,11 +27,16 @@ Five commands, mirroring the paper's narrative:
 - ``report`` — campaign-scale telemetry: span timelines with the
   bring-up critical path, deterministic sim-time profiles, and
   OpenMetrics export of a single run's or a whole campaign's metrics
-  registry (see docs/OBSERVABILITY.md).
+  registry (see docs/OBSERVABILITY.md);
+- ``fleet`` — the fleet-scale testbed: hundreds of simulated PlanetLab
+  nodes in sharded group simulations, a central controller leasing the
+  UMTS interface per slice (FIFO + priority preemption), the paper's
+  experiment across every node-pair, and fairness/starvation metrics
+  (see docs/FLEET.md).
 
-``bench``, ``chaos`` and ``sweep`` all run through the campaign runner
-(:mod:`repro.parallel`): ``-j N`` shards jobs across processes without
-changing a byte of the merged output.
+``bench``, ``chaos``, ``sweep`` and ``fleet`` all run through the
+campaign runner (:mod:`repro.parallel`): ``-j N`` shards jobs across
+processes without changing a byte of the merged output.
 """
 
 from __future__ import annotations
@@ -381,6 +386,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fleet import FleetSpec, FleetSpecError
+    from repro.obs import render_openmetrics
+    from repro.parallel import fleet_jobs, run_campaign
+
+    try:
+        spec = FleetSpec(
+            nodes=args.nodes,
+            group_size=args.group_size,
+            kind=args.kind,
+            duration=args.duration,
+            stagger=args.stagger,
+            seed=args.seed,
+            faults=tuple(args.fault or ()),
+            preemption=not args.no_preempt,
+        )
+    except FleetSpecError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    jobs = fleet_jobs(spec)
+    campaign = run_campaign(jobs, workers=args.jobs, cache=cache)
+    by_key = campaign.by_key()
+    reports = [by_key[job.key].stable for job in jobs]
+    if args.check:
+        # Determinism proof, as for chaos: re-run the whole campaign
+        # fresh (never against the cache) and require per-group digest
+        # equality with the first pass.
+        recheck = run_campaign(jobs, workers=args.jobs, cache=None).by_key()
+        for job, report in zip(jobs, reports):
+            report["deterministic"] = (
+                recheck[job.key].stable["digest"] == report["digest"]
+            )
+    failures = 0
+    outcomes: dict = {}
+    for report in reports:
+        ok = (
+            report["clean"]
+            and report["finished"]
+            and report.get("deterministic", True)
+        )
+        if not ok:
+            failures += 1
+        for experiment in report["experiments"]:
+            outcomes[experiment["outcome"]] = (
+                outcomes.get(experiment["outcome"], 0) + 1
+            )
+        verdict = "ok  " if ok else "FAIL"
+        notes = []
+        if not report["clean"]:
+            notes.append("DIRTY")
+        if not report["finished"]:
+            notes.append("HUNG")
+        if not report.get("deterministic", True):
+            notes.append("NON-DETERMINISTIC")
+        if report["dead_nodes"]:
+            notes.append(f"dead={len(report['dead_nodes'])}")
+        print(f"{verdict} g{report['group']:04d} nodes={report['nodes']} "
+              f"experiments={len(report['experiments'])} "
+              f"jain={report['fairness']['jain_hold_s']:.3f} "
+              f"digest={report['digest'][:12]} {' '.join(notes)}".rstrip())
+    if args.jsonl is not None:
+        lines = [json.dumps(report, sort_keys=True) for report in reports]
+        Path(args.jsonl).write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} group report(s) to {args.jsonl}")
+    if args.openmetrics is not None:
+        _emit_text(
+            args.openmetrics,
+            render_openmetrics(campaign.metrics),
+            "OpenMetrics exposition",
+        )
+    summary = " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    print(f"fleet: {spec.nodes} node(s) in {len(jobs)} group(s): {summary}")
+    print(f"campaign: digest={campaign.digest[:16]} workers={campaign.workers} "
+          f"cached={campaign.cached_count()}/{len(jobs)} "
+          f"wall={campaign.wall_s:.2f}s")
+    _report_cache(args, cache)
+    return 1 if failures else 0
+
+
 def _emit_text(target: str, text: str, label: str) -> None:
     """Write ``text`` to a path, or to stdout when ``target`` is ``-``."""
     from pathlib import Path
@@ -663,6 +750,52 @@ def main(argv=None) -> int:
         help="simulated seconds per sweep run (default: 10)",
     )
     _add_campaign_args(report_parser)
+    fleet_parser = sub.add_parser(
+        "fleet", help="fleet-scale campaign: many nodes, leased UMTS, fairness"
+    )
+    fleet_parser.add_argument(
+        "--nodes", type=int, default=100, metavar="N",
+        help="fleet size in simulated PlanetLab nodes (default: 100)",
+    )
+    fleet_parser.add_argument(
+        "--group-size", type=int, default=8, metavar="N",
+        help="nodes per sharded group simulation (default: 8, max 64)",
+    )
+    fleet_parser.add_argument(
+        "--kind", choices=("voip", "cbr"), default="voip",
+        help="workload on every node-pair (default: voip)",
+    )
+    fleet_parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="flow duration in simulated seconds (default: 4)",
+    )
+    fleet_parser.add_argument(
+        "--stagger", type=float, default=10.0, metavar="S",
+        help="delay between slice waves, creating the preemption window "
+             "(default: 10)",
+    )
+    fleet_parser.add_argument(
+        "--no-preempt", action="store_true",
+        help="disable priority preemption (pure FIFO leases)",
+    )
+    fleet_parser.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="fault spec (repeatable), e.g. fleet:node_kill@t=40,node=2",
+    )
+    fleet_parser.add_argument(
+        "--check", action="store_true",
+        help="run the campaign twice and require bit-identical group digests",
+    )
+    fleet_parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write per-group reports as JSON lines to PATH",
+    )
+    fleet_parser.add_argument(
+        "--openmetrics", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the folded metrics registry as OpenMetrics text "
+             "(default: stdout)",
+    )
+    _add_campaign_args(fleet_parser)
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -674,6 +807,7 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

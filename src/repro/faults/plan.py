@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` is a declarative list of :class:`FaultSpec`
 entries, each naming an *injection point* (``serial``, ``registration``,
-``dial``, ``ppp``, ``vsys``, ``session``) and a *mode* at that point,
+``dial``, ``ppp``, ``vsys``, ``session``, ``fleet``) and a *mode* at
+that point,
 plus an optional activation window and shot count.  Plans are written
 in a compact spec grammar::
 
@@ -43,6 +44,7 @@ CATALOG: Dict[str, Tuple[str, ...]] = {
     "ppp": ("lcp_drop", "ipcp_stall"),
     "vsys": ("truncate_request", "drop_response"),
     "session": ("drop", "rab_preempt", "refuse"),
+    "fleet": ("node_kill",),
 }
 
 #: (point, mode) pairs delivered by activation events to subscribers
@@ -50,6 +52,7 @@ CATALOG: Dict[str, Tuple[str, ...]] = {
 TRIGGERED: Tuple[Tuple[str, str], ...] = (
     ("session", "drop"),
     ("session", "rab_preempt"),
+    ("fleet", "node_kill"),
 )
 
 

@@ -1,0 +1,42 @@
+"""repro.fleet — many nodes, many slices, one management plane.
+
+The fleet layer scales the paper's single-node testbed to hundreds of
+simulated PlanetLab nodes (each with its own modem/operator/vsys/
+connection stack) arbitrated by a central lease controller, and runs
+the §3 VoIP/CBR characterization across node-pairs as a sharded,
+deterministic campaign.  See docs/FLEET.md.
+"""
+
+from repro.fleet.campaign import GroupRun, node_clean, run_group
+from repro.fleet.controller import (
+    FleetController,
+    FleetLeaseError,
+    LeaseTicket,
+    jain_index,
+)
+from repro.fleet.spec import (
+    DEFAULT_SLICES,
+    FLEET_KINDS,
+    FleetSpec,
+    FleetSpecError,
+    NodeSpec,
+    SliceSpec,
+)
+from repro.fleet.testbed import FleetGroup
+
+__all__ = [
+    "DEFAULT_SLICES",
+    "FLEET_KINDS",
+    "FleetController",
+    "FleetGroup",
+    "FleetLeaseError",
+    "FleetSpec",
+    "FleetSpecError",
+    "GroupRun",
+    "LeaseTicket",
+    "NodeSpec",
+    "SliceSpec",
+    "jain_index",
+    "node_clean",
+    "run_group",
+]

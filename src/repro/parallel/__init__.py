@@ -17,7 +17,12 @@ from repro.parallel.cache import (
     source_tree_digest,
     tree_digest,
 )
-from repro.parallel.entrypoints import bench_jobs, chaos_jobs, sweep_jobs
+from repro.parallel.entrypoints import (
+    bench_jobs,
+    chaos_jobs,
+    fleet_jobs,
+    sweep_jobs,
+)
 from repro.parallel.jobs import (
     ENTRY_POINTS,
     Job,
@@ -50,6 +55,7 @@ __all__ = [
     "default_start_method",
     "entry_point",
     "execute_job",
+    "fleet_jobs",
     "resolve_entry_point",
     "run_campaign",
     "source_tree_digest",

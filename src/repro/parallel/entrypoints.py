@@ -1,4 +1,4 @@
-"""Built-in campaign workloads: chaos scenarios, bench repeats, sweeps.
+"""Built-in campaign workloads: chaos, bench, sweeps, fleet groups.
 
 Each entry point is a module-level function (spawn-safe by
 construction) that rebuilds *everything* from its payload — the
@@ -121,6 +121,39 @@ def run_bench_job(payload: Dict[str, Any]) -> JobOutput:
     )
     stable = {"scenario": name, "repeats": result.repeats, "warmup": result.warmup}
     return JobOutput(stable=stable, volatile={"times_s": list(result.times)}, metrics={})
+
+
+# -- fleet ----------------------------------------------------------------
+
+
+def fleet_jobs(spec: Any) -> List[Job]:
+    """One job per fleet group (see :mod:`repro.fleet.spec`).
+
+    ``spec`` is a :class:`~repro.fleet.spec.FleetSpec`; the payload
+    carries its JSON form plus the group index, so workers rebuild the
+    whole group simulation from pure data.
+    """
+    payload_spec = spec.to_payload()
+    return [
+        Job(
+            kind="fleet",
+            key=f"fleet:g{index:04d}",
+            payload={"spec": payload_spec, "group": index},
+        )
+        for index in range(spec.group_count())
+    ]
+
+
+@entry_point("fleet")
+def run_fleet_job(payload: Dict[str, Any]) -> JobOutput:
+    """Run one fleet group under a fresh registry."""
+    from repro.fleet.campaign import run_group
+    from repro.fleet.spec import FleetSpec
+
+    spec = FleetSpec.from_payload(payload["spec"])
+    metrics = MetricsRegistry()
+    report = run_group(spec, int(payload["group"]), metrics=metrics)
+    return JobOutput(stable=report, volatile={}, metrics=metrics.snapshot())
 
 
 def bench_result_from(result_volatile: Dict[str, Any], name: str, warmup: int) -> Any:

@@ -1,0 +1,113 @@
+"""Group runs end-to-end: clean teardown, determinism, chaos kills."""
+
+from repro.fleet.campaign import GroupRun, node_clean, run_group
+from repro.fleet.spec import FleetSpec, SliceSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs import render_openmetrics
+
+QUICK = dict(nodes=4, group_size=4, duration=1.0, stagger=6.0, drain=1.0)
+
+
+def test_small_group_completes_clean():
+    metrics = MetricsRegistry()
+    report = run_group(FleetSpec(**QUICK), 0, metrics=metrics)
+    assert report["finished"] and report["clean"]
+    assert report["dead_nodes"] == []
+    # 2 pairs x 2 default slices.
+    assert len(report["experiments"]) == 4
+    assert all(r["outcome"] == "completed" for r in report["experiments"])
+    for record in report["experiments"]:
+        assert record["summary"]["packets_received"] > 0
+    assert metrics.counter("fleet.experiment.completed").value == 4
+    assert metrics.counter("fleet.lease.grants").value >= 4
+
+
+def test_preemption_shows_up_in_fairness_and_retries_succeed():
+    # stagger=6 lands the gold slice inside best's data call window.
+    report = run_group(FleetSpec(**QUICK), 0)
+    best = report["fairness"]["slices"]["fleet_best"]
+    assert best["preemptions"] >= 1
+    # The preempted attempts retried and completed on attempt 2.
+    retried = [r for r in report["experiments"] if r["attempts"] > 1]
+    assert retried
+    assert all(r["outcome"] == "completed" for r in retried)
+
+
+def test_group_digest_is_deterministic():
+    spec = FleetSpec(**QUICK)
+    assert run_group(spec, 0)["digest"] == run_group(spec, 0)["digest"]
+
+
+def test_groups_diverge_by_index_and_seed():
+    spec = FleetSpec(nodes=8, group_size=4, duration=1.0, stagger=6.0, drain=1.0)
+    assert run_group(spec, 0)["digest"] != run_group(spec, 1)["digest"]
+    reseeded = FleetSpec(
+        nodes=8, group_size=4, duration=1.0, stagger=6.0, drain=1.0, seed=99
+    )
+    assert run_group(spec, 0)["digest"] != run_group(reseeded, 0)["digest"]
+
+
+def test_node_kill_mid_lease_is_clean_and_never_starves():
+    spec = FleetSpec(faults=("fleet:node_kill@t=12,node=0",), **QUICK)
+    run = GroupRun(spec, 0)
+    run.execute()
+    report = run.report()
+    # The killed node's lock/isolation were cleaned by the went_down
+    # path, every experiment resolved (no timeout = no starvation).
+    assert report["finished"] and report["clean"]
+    assert report["dead_nodes"] == ["fleet0000-n00.onelab.eu"]
+    outcomes = {r["experiment"]: r["outcome"] for r in report["experiments"]}
+    assert "timeout" not in outcomes.values()
+    killed = [r for r in report["experiments"] if r["node"].endswith("n00.onelab.eu")]
+    assert killed
+    assert all(r["outcome"] in ("killed", "unleased") for r in killed)
+    for node in run.group.nodes:
+        assert node_clean(node)
+
+
+def test_preemption_mid_datacall_releases_isolation_cleanly():
+    # Single pair, no retry: the best slice is preempted mid-call and
+    # must leave the node with no lock, no netfilter, no ppp0.
+    spec = FleetSpec(
+        nodes=2,
+        group_size=2,
+        duration=30.0,  # long call: gold arrives mid-flow
+        stagger=12.0,
+        drain=1.0,
+        retry_preempted=0,
+    )
+    run = GroupRun(spec, 0)
+    run.execute()
+    report = run.report()
+    assert report["finished"] and report["clean"]
+    outcomes = {r["slice"]: r["outcome"] for r in report["experiments"]}
+    assert outcomes["fleet_best"] == "preempted"
+    assert outcomes["fleet_gold"] == "completed"
+    for node in run.group.nodes:
+        assert node_clean(node)
+
+
+def test_cbr_kind_and_custom_slices():
+    spec = FleetSpec(
+        nodes=2,
+        group_size=2,
+        kind="cbr",
+        duration=1.0,
+        stagger=2.0,
+        drain=1.0,
+        slices=(SliceSpec("solo", 700),),
+    )
+    report = run_group(spec, 0)
+    assert report["finished"] and report["clean"]
+    (record,) = report["experiments"]
+    assert record["outcome"] == "completed"
+    assert record["summary"]["bitrate_kbps"] > 0
+
+
+def test_starvation_and_fairness_metrics_reach_openmetrics():
+    metrics = MetricsRegistry()
+    run_group(FleetSpec(**QUICK), 0, metrics=metrics)
+    text = render_openmetrics(metrics)
+    assert "repro_fleet_lease_starved_total" in text
+    assert "repro_fleet_fairness_jain" in text
+    assert "repro_fleet_lease_wait_seconds" in text

@@ -1,0 +1,176 @@
+"""Lease arbitration: FIFO order, priorities, preemption, node death."""
+
+import pytest
+
+from repro.fleet.controller import FleetController, FleetLeaseError, jain_index
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import Simulator
+
+
+def make_controller(preemption=True, metrics=False):
+    sim = Simulator()
+    if metrics:
+        sim.metrics = MetricsRegistry()
+    controller = FleetController(sim, preemption=preemption)
+    controller.register_node("node-a")
+    return sim, controller
+
+
+def watch(ticket):
+    """Record the ticket's outcome and revocations as they fire."""
+    events = []
+    ticket.outcome.wait(lambda value: events.append(value))
+    ticket.revoked.wait(lambda reason: events.append(("revoked", reason)))
+    return events
+
+
+def test_fifo_within_a_priority():
+    sim, controller = make_controller()
+    first = controller.request("node-a", "alpha")
+    second = controller.request("node-a", "beta")
+    sim.run(until=1.0)
+    assert first.granted and not second.granted
+    controller.release(first)
+    sim.run(until=2.0)
+    assert second.granted
+    controller.release(second)
+    assert second.state == "released"
+
+
+def test_priority_wins_among_queued():
+    # Preemption off isolates pure queue ordering: the high-priority
+    # ticket arrives last but is granted first once the holder leaves.
+    sim, controller = make_controller(preemption=False)
+    holder = controller.request("node-a", "alpha")
+    low = controller.request("node-a", "low", priority=0)
+    sim.run(until=1.0)
+    high = controller.request("node-a", "high", priority=5)
+    sim.run(until=2.0)
+    controller.release(holder)
+    sim.run(until=3.0)
+    assert high.granted
+    assert not low.granted
+
+
+def test_preemption_fires_revoked_and_counts():
+    sim, controller = make_controller(metrics=True)
+    holder = controller.request("node-a", "best", priority=0)
+    sim.run(until=1.0)
+    assert holder.granted
+    events = watch(holder)
+    gold = controller.request("node-a", "gold", priority=10)
+    sim.run(until=2.0)
+    assert ("revoked", "preempted by gold") in events
+    assert not gold.granted  # graceful: waits for the holder's release
+    controller.release(holder)
+    sim.run(until=3.0)
+    assert gold.granted
+    assert controller.fairness()["slices"]["best"]["preemptions"] == 1
+    assert sim.metrics.counter("fleet.lease.preemptions").value == 1
+
+
+def test_no_preemption_when_disabled():
+    sim, controller = make_controller(preemption=False)
+    holder = controller.request("node-a", "best", priority=0)
+    sim.run(until=1.0)
+    events = watch(holder)
+    gold = controller.request("node-a", "gold", priority=10)
+    sim.run(until=2.0)
+    assert events == []
+    assert not gold.granted
+    controller.release(holder)
+    sim.run(until=3.0)
+    assert gold.granted
+
+
+def test_equal_priority_never_preempts():
+    sim, controller = make_controller()
+    holder = controller.request("node-a", "one", priority=3)
+    sim.run(until=1.0)
+    events = watch(holder)
+    controller.request("node-a", "two", priority=3)
+    sim.run(until=2.0)
+    assert events == []
+
+
+def test_node_kill_revokes_holder_and_fails_queue_immediately():
+    sim, controller = make_controller(metrics=True)
+    killed = []
+    controller.register_node("node-b", on_kill=killed.append)
+    holder = controller.request("node-b", "best")
+    sim.run(until=1.0)
+    assert holder.granted
+    waiter = controller.request("node-b", "gold", priority=0)
+    sim.run(until=1.5)
+    holder_events = watch(holder)
+    waiter_events = watch(waiter)
+    controller.kill_node("node-b", reason="chaos node_kill")
+    sim.run(until=2.0)
+    # The holder is revoked (not a preemption) and every queued ticket
+    # resolves failed at once: death never starves the queue.
+    assert ("revoked", "chaos node_kill") in holder_events
+    assert ("failed", "chaos node_kill") in waiter_events
+    assert killed == ["chaos node_kill"]
+    assert controller.dead_nodes() == ["node-b"]
+    assert sim.metrics.counter("fleet.node.killed").value == 1
+    assert sim.metrics.counter("fleet.lease.preemptions").value == 0
+    # Requests after death fail asynchronously, also without waiting.
+    late = controller.request("node-b", "late")
+    late_events = watch(late)
+    sim.run(until=3.0)
+    assert late_events == [("failed", "node dead")]
+    # Killing twice is a no-op.
+    controller.kill_node("node-b")
+    assert controller.dead_nodes() == ["node-b"]
+
+
+def test_release_is_idempotent_and_unknown_node_raises():
+    sim, controller = make_controller(metrics=True)
+    ticket = controller.request("node-a", "alpha")
+    sim.run(until=1.0)
+    controller.release(ticket)
+    controller.release(ticket)  # second release: no double counting
+    assert sim.metrics.counter("fleet.lease.releases").value == 1
+    with pytest.raises(FleetLeaseError):
+        controller.request("ghost", "alpha")
+    with pytest.raises(FleetLeaseError):
+        controller.kill_node("ghost")
+    with pytest.raises(FleetLeaseError):
+        controller.register_node("node-a")
+
+
+def test_wait_and_hold_accounting():
+    sim, controller = make_controller(metrics=True)
+    first = controller.request("node-a", "alpha")
+    second = controller.request("node-a", "beta")
+    sim.run(until=1.0)
+    sim.schedule(4.0, controller.release, first)
+    sim.run(until=10.0)
+    assert second.granted
+    assert first.wait_time() == 0.0
+    assert second.wait_time() == pytest.approx(5.0)
+    fairness = controller.fairness()
+    assert fairness["slices"]["alpha"]["hold_s"] == pytest.approx(5.0)
+    assert fairness["slices"]["beta"]["mean_wait_s"] == pytest.approx(5.0)
+    assert 0.0 < fairness["jain_grants"] <= 1.0
+
+
+def test_jain_index_bounds():
+    assert jain_index([]) == 1.0
+    assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+    assert jain_index([1.0, 0.0]) == pytest.approx(0.5)
+    assert jain_index([0.0, 0.0]) == 1.0
+
+
+def test_metric_families_exist_even_when_uneventful():
+    sim = Simulator()
+    sim.metrics = MetricsRegistry()
+    FleetController(sim)
+    for name in (
+        "fleet.lease.requests",
+        "fleet.lease.grants",
+        "fleet.lease.preemptions",
+        "fleet.lease.starved",
+        "fleet.node.killed",
+    ):
+        assert name in sim.metrics

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro",
     "repro.analysis",
     "repro.core",
+    "repro.fleet",
     "repro.modem",
     "repro.net",
     "repro.netfilter",

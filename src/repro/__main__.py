@@ -250,20 +250,47 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     import repro
-    from repro.lint import RULES, human_report, jsonl_report, lint_paths
+    from repro.lint import (
+        RULES,
+        UnknownRuleError,
+        human_report,
+        jsonl_report,
+        lint_campaign,
+        lint_paths,
+        ruleset_digest,
+    )
 
     if args.list_rules:
         for rule_id in sorted(RULES):
             rule = RULES[rule_id]
             print(f"{rule_id:<20} {rule.severity.value:<8} {rule.description}")
         return 0
-    unknown = [rule_id for rule_id in (args.rule or []) if rule_id not in RULES]
-    if unknown:
-        print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(sorted(RULES))}", file=sys.stderr)
-        return 2
     paths = args.paths or [str(Path(repro.__file__).parent)]
-    findings = lint_paths(paths, rule_ids=args.rule or None)
+    campaign = None
+    try:
+        if args.jobs == 1 and args.no_cache:
+            findings = lint_paths(paths, rule_ids=args.rule or None)
+        else:
+            # The cache's source digest is the lint package itself, not
+            # the whole tree: per-file content digests in the job keys
+            # cover source edits, so only analyzer changes flush it.
+            cache = None
+            if not args.no_cache:
+                from repro.parallel import ResultCache
+
+                cache = ResultCache(
+                    root=args.cache_dir,
+                    source_digest=f"lint:{ruleset_digest()}",
+                )
+            findings, campaign = lint_campaign(
+                paths, rule_ids=args.rule or None,
+                workers=args.jobs, cache=cache,
+            )
+            _report_cache(args, cache)
+    except UnknownRuleError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        print(f"available: {', '.join(exc.known)}", file=sys.stderr)
+        return 2
     if args.jsonl is not None:
         lines = jsonl_report(findings)
         if args.jsonl == "-":
@@ -275,6 +302,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         for line in human_report(findings):
             print(line)
+    if campaign is not None and args.jobs != 1:
+        print(f"campaign: {len(campaign.results)} file(s) across "
+              f"{campaign.workers} worker(s) in {campaign.wall_s:.2f}s")
     checked = "all rules" if not args.rule else ", ".join(args.rule)
     print(f"lint: {len(findings)} finding(s) ({checked})")
     return 1 if findings else 0
@@ -678,6 +708,7 @@ def main(argv=None) -> int:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    _add_campaign_args(lint_parser)
     chaos_parser = sub.add_parser(
         "chaos", help="fault-injection campaign over the dial-up stack"
     )

@@ -130,7 +130,13 @@ class UmtsBackend:
     def _start(self, slice_name: str):
         self.lock.acquire(slice_name)
         self._log(f"start: lock acquired by {slice_name}")
-        code, lines = yield from self.connection.connect()
+        try:
+            code, lines = yield from self.connection.connect()
+        except BaseException:
+            # A fault thrown into the dial (or a kill) must not leave
+            # the interface locked by a slice that never got it up.
+            self.lock.release(slice_name)
+            raise
         if code != 0:
             self.lock.release(slice_name)
             self._log("start: connect failed, lock released")
@@ -148,9 +154,13 @@ class UmtsBackend:
     def _stop(self, slice_name: str):
         self.lock.require_owner(slice_name, "stop")
         self.isolation.remove()
-        code, lines = yield from self.connection.disconnect()
-        self.lock.release(slice_name)
-        self._log(f"stop: connection down, lock released by {slice_name}")
+        try:
+            code, lines = yield from self.connection.disconnect()
+        finally:
+            # Rules are already gone; the lock must follow even if the
+            # hangup is interrupted, or the interface wedges forever.
+            self.lock.release(slice_name)
+            self._log(f"stop: connection down, lock released by {slice_name}")
         lines.append("umts: rules deleted, interface unlocked")
         return code, lines
 

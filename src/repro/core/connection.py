@@ -189,6 +189,9 @@ class UmtsConnectionManager:
         if self.state != ConnectionState.DOWN:
             return 1, [f"umts: connection is {self.state.value}, expected down"]
         trace = self.sim.trace
+        # lint: allow(resource-lifecycle) -- the dial loop always returns
+        # from inside (is_last ends the span on the final attempt); the
+        # fall-off return below it is unreachable in practice.
         span = trace.span("umts.connect", apn=self.apn) if trace is not None else None
         self._set_state(ConnectionState.REGISTERING, "umts start")
         code, lines = yield from self._register_with_retry(trace)

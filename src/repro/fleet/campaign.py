@@ -261,9 +261,13 @@ class GroupRun:
         was already force-released by the ``went_down`` cleanup — and
         the lease is released either way.
         """
-        yield umts.stop()
-        umts.close()
-        self.controller.release(ticket)
+        try:
+            yield umts.stop()
+        finally:
+            # Even a fault thrown into the stop must free the lease:
+            # a leaked ticket starves every later waiter on the node.
+            umts.close()
+            self.controller.release(ticket)
         if revoke_reason is None:
             return "completed"
         if revoke_reason.startswith("preempted"):

@@ -26,7 +26,23 @@ Three rule families guard the properties the reproduction depends on:
 - **metric names** (:mod:`repro.lint.rules.metric_name`) — metric and
   span names are static lowercase dotted literals (or precomputed
   variables); runtime-built names would explode the OpenMetrics family
-  set and defeat the exporter's byte-identity gate.
+  set and defeat the exporter's byte-identity gate;
+- **resource lifecycle** (:mod:`repro.lint.rules.lifecycle`) — every
+  acquire (interface lock, isolation install, pppd spawn, trace span)
+  reaches its matching release on all control-flow paths, exception
+  edges included, proven over the intra-function CFG
+  (:mod:`repro.lint.cfg`); stored resources and ``ip``/``iptables``
+  installs must pair class-wide (:mod:`repro.lint.project`);
+- **lease protocol** (:mod:`repro.lint.rules.lease`) — FleetController
+  lease sites await and destructure the ticket outcome, handle
+  ``"failed"`` explicitly, subscribe to ``ticket.revoked`` before the
+  next yield (PR 7's lost-wakeup fix), and keep
+  ``controller.release`` on every exception path.
+
+The runner shards per-file work through :mod:`repro.parallel`
+(``repro lint -j N``) with a content-addressed result cache keyed by
+file digest + rule-set digest; findings are byte-identical at any
+worker count.
 
 Findings are suppressed per line with ``# lint: allow(<rule-id>)``
 pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
@@ -35,14 +51,30 @@ pragmas (see :func:`repro.lint.core.parse_pragmas`).  The CLI entry is
 
 from __future__ import annotations
 
-from repro.lint.core import RULES, Finding, LintModule, Rule, Severity, register
+from repro.lint.core import (
+    RULES,
+    Finding,
+    LintModule,
+    Rule,
+    Severity,
+    UnknownRuleError,
+    register,
+)
 from repro.lint.report import human_report, jsonl_report
-from repro.lint.runner import iter_python_files, lint_paths
+from repro.lint.runner import (
+    iter_python_files,
+    lint_campaign,
+    lint_file,
+    lint_paths,
+    ruleset_digest,
+)
 
 # Importing the rule modules registers every rule in RULES.
 from repro.lint.rules import (  # noqa: F401  (registration)
     determinism,
     fsm,
+    lease,
+    lifecycle,
     metric_name,
     retry,
     typing_defs,
@@ -55,9 +87,13 @@ __all__ = [
     "RULES",
     "Rule",
     "Severity",
+    "UnknownRuleError",
     "human_report",
     "iter_python_files",
     "jsonl_report",
+    "lint_campaign",
+    "lint_file",
     "lint_paths",
     "register",
+    "ruleset_digest",
 ]

@@ -1,0 +1,414 @@
+"""Intra-function control-flow graphs for the lifecycle rules.
+
+One :class:`Cfg` per function, one node per *statement*, with two
+virtual exits: :data:`EXIT_NORMAL` (fall-off or ``return``) and
+:data:`EXIT_RAISE` (an uncaught exception).  The graph is deliberately
+tuned to this codebase's execution model rather than to worst-case
+Python:
+
+- **Exception edges come from process-switch points only.**  In the
+  simulation, exceptions are *thrown into* generators at ``yield`` /
+  ``yield from`` / ``await`` (the engine's fault injection, a kill, a
+  ``GeneratorExit`` on close) or raised explicitly with ``raise``.
+  Treating every call as a potential raiser would drown the lifecycle
+  rules in noise; treating only switch points keeps the exception
+  paths that actually occur under ``repro.faults``.
+- **``try``/``finally`` uses a fan join.**  Every exit of the
+  protected region — normal, exceptional, ``return``, ``break``,
+  ``continue`` — routes through the ``finally`` body once, then a
+  single join node fans out to the union of the continuations the
+  region actually uses.  This over-approximates (a path entered
+  normally may leave exceptionally) but never *under*-approximates,
+  so a release inside ``finally`` always dominates the raise exit.
+- **Type-specific handlers do not absorb the raise edge.**  A raise
+  point inside ``try`` gets an edge to each handler *and*, unless a
+  handler is a catch-all (bare, ``Exception`` or ``BaseException``),
+  an escape edge past them — the raised type may match none.
+- **``while True`` has no fall-through exit** (only ``break``,
+  ``return`` or a raise leave it), mirroring CPython's compiler.
+
+Known simplifications, all conservative for the rules built on top:
+``assert`` is not a raise point (assertions state invariants), and
+``match`` statements are opaque single nodes (none exist in-tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+#: Virtual successor: the function returned or fell off the end.
+EXIT_NORMAL = -1
+#: Virtual successor: an exception left the function.
+EXIT_RAISE = -2
+
+FunctionDefLike = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Child nodes that open a new scope; traversals never descend into them.
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: Exception-type names treated as catch-alls.
+_CATCH_ALL_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that stops at nested function/class scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if not isinstance(child, _SCOPE_BARRIERS):
+                stack.append(child)
+
+
+def scope_statements(func: FunctionDefLike) -> Iterator[ast.stmt]:
+    """Every statement belonging to ``func``'s own body (not nested defs)."""
+    for node in walk_same_scope(func):
+        if isinstance(node, ast.stmt) and node is not func:
+            yield node
+
+
+def function_defs(tree: ast.AST) -> Iterator[FunctionDefLike]:
+    """All function definitions in ``tree``, in ``ast.walk`` order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def is_switch_point(node: ast.AST) -> bool:
+    """Whether ``node`` contains a yield/await in its own scope."""
+    if isinstance(node, _SCOPE_BARRIERS):
+        return False  # a def/class *statement* evaluates nothing inside it
+    for child in walk_same_scope(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+    return False
+
+
+def stmt_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expressions evaluated by ``stmt``'s own CFG node.
+
+    Nested statements (an ``if`` body, a loop body) belong to their own
+    nodes and are not included; neither are lambda bodies or nested
+    function definitions, which merely *create* code here.
+    """
+    if isinstance(stmt, _SCOPE_BARRIERS):
+        return
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield from walk_same_scope(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield from walk_same_scope(item)
+
+
+def _is_truthy_const(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    for node in ast.walk(handler.type):
+        if isinstance(node, ast.Name) and node.id in _CATCH_ALL_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+def _dedup(items: Iterable[int]) -> List[int]:
+    seen: Set[int] = set()
+    out: List[int] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+@dataclass
+class CfgNode:
+    """One statement in the graph."""
+
+    stmt: ast.stmt
+    index: int
+    succ: List[int]
+    can_raise: bool
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where the abnormal exits of the current region lead."""
+
+    raise_to: Tuple[int, ...]
+    return_to: int
+    break_to: Optional[int]
+    continue_to: Optional[int]
+
+
+@dataclass
+class _RegionScan:
+    """What kinds of abnormal exits a protected region can take."""
+
+    propagates: bool = False
+    returns: bool = False
+    breaks: bool = False
+    continues: bool = False
+
+
+def _scan_region(stmts: Sequence[ast.stmt], loop_depth: int = 0) -> _RegionScan:
+    scan = _RegionScan()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Return):
+            scan.returns = True
+        elif isinstance(stmt, ast.Break) and loop_depth == 0:
+            scan.breaks = True
+        elif isinstance(stmt, ast.Continue) and loop_depth == 0:
+            scan.continues = True
+        elif isinstance(stmt, ast.Raise) or is_switch_point(stmt):
+            scan.propagates = True
+        for body in _child_blocks(stmt):
+            inner_depth = loop_depth + (1 if isinstance(stmt, (ast.For, ast.While)) else 0)
+            inner = _scan_region(body, inner_depth)
+            scan.propagates = scan.propagates or inner.propagates
+            scan.returns = scan.returns or inner.returns
+            scan.breaks = scan.breaks or inner.breaks
+            scan.continues = scan.continues or inner.continues
+    return scan
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    blocks: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if block and not isinstance(stmt, _SCOPE_BARRIERS):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[CfgNode] = []
+
+    def _new(self, stmt: ast.stmt, can_raise: bool = False) -> int:
+        node = CfgNode(stmt=stmt, index=len(self.nodes), succ=[], can_raise=can_raise)
+        self.nodes.append(node)
+        return node.index
+
+    def block(self, stmts: Sequence[ast.stmt], follow: int, ctx: _Ctx) -> int:
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self.statement(stmt, entry, ctx)
+        return entry
+
+    def statement(self, stmt: ast.stmt, follow: int, ctx: _Ctx) -> int:
+        if isinstance(stmt, _SCOPE_BARRIERS):
+            index = self._new(stmt)
+            self.nodes[index].succ = [follow]
+            return index
+        if isinstance(stmt, ast.Return):
+            index = self._new(stmt)
+            self.nodes[index].succ = [ctx.return_to]
+            return index
+        if isinstance(stmt, ast.Raise):
+            index = self._new(stmt)
+            self.nodes[index].succ = _dedup(ctx.raise_to)
+            return index
+        if isinstance(stmt, ast.Break):
+            index = self._new(stmt)
+            target = ctx.break_to if ctx.break_to is not None else EXIT_NORMAL
+            self.nodes[index].succ = [target]
+            return index
+        if isinstance(stmt, ast.Continue):
+            index = self._new(stmt)
+            target = ctx.continue_to if ctx.continue_to is not None else EXIT_NORMAL
+            self.nodes[index].succ = [target]
+            return index
+        if isinstance(stmt, ast.If):
+            raises = is_switch_point(stmt.test)
+            index = self._new(stmt, raises)
+            body_entry = self.block(stmt.body, follow, ctx)
+            else_entry = self.block(stmt.orelse, follow, ctx)
+            succ = [body_entry, else_entry]
+            if raises:
+                succ.extend(ctx.raise_to)
+            self.nodes[index].succ = _dedup(succ)
+            return index
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, follow, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            raises = any(is_switch_point(item.context_expr) for item in stmt.items)
+            index = self._new(stmt, raises)
+            body_entry = self.block(stmt.body, follow, ctx)
+            succ = [body_entry]
+            if raises:
+                succ.extend(ctx.raise_to)
+            self.nodes[index].succ = _dedup(succ)
+            return index
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, follow, ctx)
+        raises = is_switch_point(stmt)
+        index = self._new(stmt, raises)
+        succ = [follow]
+        if raises:
+            succ.extend(ctx.raise_to)
+        self.nodes[index].succ = _dedup(succ)
+        return index
+
+    def _loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        follow: int,
+        ctx: _Ctx,
+    ) -> int:
+        if isinstance(stmt, ast.While):
+            raises = is_switch_point(stmt.test)
+            infinite = _is_truthy_const(stmt.test)
+        else:
+            raises = is_switch_point(stmt.iter)
+            infinite = False
+        index = self._new(stmt, raises)
+        else_entry = self.block(stmt.orelse, follow, ctx) if stmt.orelse else follow
+        body_ctx = _Ctx(
+            raise_to=ctx.raise_to,
+            return_to=ctx.return_to,
+            break_to=follow,
+            continue_to=index,
+        )
+        body_entry = self.block(stmt.body, index, body_ctx)
+        succ = [body_entry]
+        if not infinite:
+            succ.append(else_entry)
+        if raises:
+            succ.extend(ctx.raise_to)
+        self.nodes[index].succ = _dedup(succ)
+        return index
+
+    def _try(self, stmt: ast.Try, follow: int, ctx: _Ctx) -> int:
+        if stmt.finalbody:
+            join = self._new(stmt)
+            protected: List[ast.stmt] = list(stmt.body) + list(stmt.orelse)
+            for handler in stmt.handlers:
+                protected.extend(handler.body)
+            scan = _scan_region(protected)
+            fan: List[int] = [follow]
+            if scan.propagates:
+                fan.extend(ctx.raise_to)
+            if scan.returns:
+                fan.append(ctx.return_to)
+            if scan.breaks and ctx.break_to is not None:
+                fan.append(ctx.break_to)
+            if scan.continues and ctx.continue_to is not None:
+                fan.append(ctx.continue_to)
+            self.nodes[join].succ = _dedup(fan)
+            # Raises *inside the finally body itself* use the outer targets.
+            finally_entry = self.block(stmt.finalbody, join, ctx)
+            exit_ctx = _Ctx(
+                raise_to=(finally_entry,),
+                return_to=finally_entry,
+                break_to=finally_entry if ctx.break_to is not None else None,
+                continue_to=finally_entry if ctx.continue_to is not None else None,
+            )
+            inner_follow = finally_entry
+        else:
+            exit_ctx = ctx
+            inner_follow = follow
+        handler_entries: List[int] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            handler_entries.append(self.block(handler.body, inner_follow, exit_ctx))
+            catch_all = catch_all or _is_catch_all(handler)
+        body_raise: List[int] = list(handler_entries)
+        if not catch_all:
+            body_raise.extend(exit_ctx.raise_to)
+        body_ctx = _Ctx(
+            raise_to=tuple(_dedup(body_raise)) or exit_ctx.raise_to,
+            return_to=exit_ctx.return_to,
+            break_to=exit_ctx.break_to,
+            continue_to=exit_ctx.continue_to,
+        )
+        orelse_entry = (
+            self.block(stmt.orelse, inner_follow, exit_ctx)
+            if stmt.orelse
+            else inner_follow
+        )
+        return self.block(stmt.body, orelse_entry, body_ctx)
+
+
+class Cfg:
+    """The control-flow graph of one function definition."""
+
+    def __init__(self, func: FunctionDefLike) -> None:
+        self.func = func
+        builder = _Builder()
+        ctx = _Ctx(
+            raise_to=(EXIT_RAISE,),
+            return_to=EXIT_NORMAL,
+            break_to=None,
+            continue_to=None,
+        )
+        self.entry = builder.block(func.body, EXIT_NORMAL, ctx)
+        self.nodes = builder.nodes
+        self._by_stmt: Dict[int, int] = {}
+        for node in self.nodes:
+            # lint: allow(id-ordering) -- identity map within one parse;
+            # only looked up, never iterated, so order cannot leak out.
+            self._by_stmt.setdefault(id(node.stmt), node.index)
+
+    def node_for(self, stmt: ast.stmt) -> Optional[int]:
+        """The node index built for ``stmt``, if any."""
+        return self._by_stmt.get(id(stmt))  # lint: allow(id-ordering)
+
+    def reachable(self, starts: Iterable[int], stop: Iterable[int] = ()) -> Set[int]:
+        """Node indices (and exit sentinels) reachable from ``starts``.
+
+        Nodes in ``stop`` absorb: they are never entered, so paths
+        through them contribute nothing.  The virtual exits appear in
+        the result when some surviving path ends there.
+        """
+        blocked = set(stop)
+        seen: Set[int] = set()
+        stack = [index for index in starts if index not in blocked]
+        while stack:
+            index = stack.pop()
+            if index in seen or index in blocked:
+                continue
+            seen.add(index)
+            if index >= 0:
+                stack.extend(self.nodes[index].succ)
+        return seen
+
+    def reachable_after(self, index: int, stop: Iterable[int] = ()) -> Set[int]:
+        """What the paths *leaving* node ``index`` can reach."""
+        return self.reachable(self.nodes[index].succ, stop)
+
+
+def build_cfg(func: FunctionDefLike) -> Cfg:
+    """Build the statement-level CFG of ``func``."""
+    return Cfg(func)
+
+
+def teardown_skippable(cfg: Cfg, release_nodes: Iterable[int]) -> bool:
+    """Whether an exception path can bypass a mandatory release.
+
+    True when the function (a) can terminate normally, (b) every
+    normal termination passes through one of ``release_nodes`` — the
+    release is unconditional teardown, not a branch — and (c) some
+    exception path escapes without passing one.  Conditional releases
+    (cleanup guarded by an ``if``) never qualify, so event handlers
+    that release only on certain events are not flagged.
+    """
+    stops = list(release_nodes)
+    if not stops:
+        return False
+    everything = cfg.reachable([cfg.entry])
+    if EXIT_NORMAL not in everything:
+        return False
+    surviving = cfg.reachable([cfg.entry], stops)
+    return EXIT_NORMAL not in surviving and EXIT_RAISE in surviving

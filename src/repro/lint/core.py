@@ -22,7 +22,7 @@ import re
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Type, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type, Union
 
 PathLike = Union[str, Path]
 
@@ -60,6 +60,18 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`; used by the sharded runner."""
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+        )
+
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(\s*([A-Za-z0-9_\s,-]+?)\s*\)")
 
@@ -68,18 +80,25 @@ def parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
     """Map line numbers to the rule ids allowed there.
 
     ``# lint: allow(rule)`` covers its own line; when the whole line is
-    a comment, it covers the next line as well (the justification-above
-    idiom).  Multiple rules separate with commas.
+    a comment, the allowance chains down through the rest of the
+    comment block to the first non-comment line (the justification-
+    above idiom, which may run to several comment lines).  Multiple
+    rules separate with commas.
     """
     allows: Dict[int, set] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
         match = _PRAGMA_RE.search(text)
         if match is None:
             continue
         rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
         allows.setdefault(lineno, set()).update(rules)
         if text.lstrip().startswith("#"):
-            allows.setdefault(lineno + 1, set()).update(rules)
+            target = lineno + 1
+            while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                allows.setdefault(target, set()).update(rules)
+                target += 1
+            allows.setdefault(target, set()).update(rules)
     return {line: frozenset(rules) for line, rules in allows.items()}
 
 
@@ -143,6 +162,22 @@ class Rule:
             message=message,
         )
 
+    def summarize(self, module: LintModule) -> Optional[Any]:
+        """Per-file contribution to the project phase, or ``None``.
+
+        Must be JSON-able: contributions travel through campaign
+        workers and the result cache as plain data.
+        """
+        return None
+
+    def finish(self, contributions: List[Tuple[str, Any]]) -> Iterable[Finding]:
+        """Project-wide findings from every file's contribution.
+
+        ``contributions`` is path-sorted ``(path, payload)`` pairs for
+        this rule; called once per run after all files are read.
+        """
+        return ()
+
 
 #: Rule id → instance; populated by :func:`register` at import time.
 RULES: Dict[str, Rule] = {}
@@ -159,13 +194,30 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
+class UnknownRuleError(KeyError):
+    """``--rule`` named a rule id that is not registered."""
+
+    def __init__(self, rule_id: str, known: List[str]) -> None:
+        super().__init__(rule_id)
+        self.rule_id = rule_id
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown rule {self.rule_id!r} (known: {', '.join(self.known)})"
+
+
 def select_rules(rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:
-    """Resolve ``--rule`` selections; unknown ids raise ``KeyError``."""
+    """Resolve ``--rule`` selections.
+
+    Unknown ids raise :class:`UnknownRuleError` carrying the offending
+    id and the sorted list of registered rules, so the CLI can print a
+    helpful message and exit 2.
+    """
     if rule_ids is None:
         return [RULES[name] for name in sorted(RULES)]
     selected = []
     for rule_id in rule_ids:
         if rule_id not in RULES:
-            raise KeyError(rule_id)
+            raise UnknownRuleError(rule_id, sorted(RULES))
         selected.append(RULES[rule_id])
     return selected

@@ -1,0 +1,51 @@
+"""Whole-program index for project-phase lint rules.
+
+Per-file rules see one module at a time; the lifecycle pairing checks
+(an acquire in ``Isolation.install`` must find its release in
+``Isolation.remove``) need the whole tree.  Rules participate through
+two optional hooks on :class:`~repro.lint.core.Rule`:
+
+- ``summarize(module)`` returns a JSON-able per-file contribution (or
+  ``None``).  Because contributions are plain data, they shard through
+  ``repro.parallel`` workers and land in the result cache unchanged.
+- ``finish(contributions)`` receives every ``(path, payload)`` pair,
+  sorted by path string, and yields project-wide findings.
+
+The :class:`ProjectIndex` is the merge point: the sequential runner and
+the sharded campaign both feed it the same path-sorted contributions,
+which is what makes ``-j 1`` and ``-j N`` findings byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class ProjectIndex:
+    """Accumulates per-file rule contributions and pragma allows."""
+
+    def __init__(self) -> None:
+        self._contributions: Dict[str, List[Tuple[str, Any]]] = {}
+        self._allows: Dict[str, Dict[int, List[str]]] = {}
+
+    def add_file(
+        self,
+        path: str,
+        contrib: Dict[str, Any],
+        allows: Dict[int, List[str]],
+    ) -> None:
+        """Record one file's contributions and its pragma table."""
+        for rule_id, payload in contrib.items():
+            self._contributions.setdefault(rule_id, []).append((path, payload))
+        if allows:
+            self._allows[path] = allows
+
+    def contributions(self, rule_id: str) -> List[Tuple[str, Any]]:
+        """All ``(path, payload)`` pairs for ``rule_id``, path-sorted."""
+        pairs = self._contributions.get(rule_id, [])
+        return sorted(pairs, key=lambda pair: pair[0])
+
+    def allowed(self, path: str, rule_id: str, line: int) -> bool:
+        """Whether a pragma in ``path`` suppresses ``rule_id`` at ``line``."""
+        rules = self._allows.get(path, {}).get(line)
+        return rules is not None and rule_id in rules

@@ -21,6 +21,7 @@ from repro.parallel.entrypoints import (
     bench_jobs,
     chaos_jobs,
     fleet_jobs,
+    lint_jobs,
     sweep_jobs,
 )
 from repro.parallel.jobs import (
@@ -56,6 +57,7 @@ __all__ = [
     "entry_point",
     "execute_job",
     "fleet_jobs",
+    "lint_jobs",
     "resolve_entry_point",
     "run_campaign",
     "source_tree_digest",

@@ -1,0 +1,62 @@
+"""Fixture: every way to get the FleetController lease protocol wrong."""
+
+
+class Campaign:
+    def discards_ticket(self):
+        self.controller.request("node", "slice", 1)  # line 6: discarded
+
+    def never_awaits(self):
+        ticket = self.controller.request("node", "slice", 1)  # line 9
+        if ticket is None:
+            return None
+        return 0
+
+    def ignores_outcome(self):
+        t = self.controller.request("node", "slice", 1)
+        yield t.outcome  # line 16: outcome ignored
+
+    def unknown_literal(self):
+        t = self.controller.request("node", "slice", 1)
+        status, detail = yield t.outcome  # line 20: 'denied' + no 'failed'
+        if status == "denied":
+            return 1
+        return 0
+
+    def never_checks(self):
+        t = self.controller.request("node", "slice", 1)
+        status, detail = yield t.outcome  # line 27: status never compared
+        return status
+
+    def lost_wakeup(self):
+        t = self.controller.request("node", "slice", 1)
+        status, detail = yield t.outcome
+        if status == "failed":
+            return "unleased"
+        started = yield self.umts.start()  # line 35: yields before wait()
+        t.revoked.wait(self._on_revoke)
+        return started
+
+    def never_subscribes(self):
+        t = self.controller.request("node", "slice", 1)
+        status, detail = yield t.outcome  # line 41: revoked never subscribed
+        if status == "failed":
+            return "unleased"
+        yield self.umts.start()
+        self.controller.release(t)
+        return "ok"
+
+    def unprotected_release(self, t):
+        yield self.umts.stop()
+        self.controller.release(t)  # line 50: release skippable on raise
+
+    def clean(self):
+        t = self.controller.request("node", "slice", 1)
+        status, detail = yield t.outcome
+        if status == "failed":
+            return "unleased"
+        t.revoked.wait(self._on_revoke)
+        try:
+            yield self.umts.start()
+        finally:
+            self.controller.release(t)
+        return "ok"

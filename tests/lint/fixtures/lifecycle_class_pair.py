@@ -1,0 +1,32 @@
+"""Fixture: class-wide pairing — stored resources and ip/iptables commands."""
+
+
+class Pppd:
+    def __init__(self, sim):
+        self.sim = sim
+
+
+class KeepsPppd:
+    def start(self, sim):
+        self.pppd = Pppd(sim)  # line 11: stored, never released in the class
+
+
+class InstallsOnly:
+    def install(self, table):
+        self.stack.ip.run("rule add fwmark 0x1 lookup 75 pref 32764")  # line 16
+        self.stack.iptables.run("-t mangle -A umts-mark -j MARK")  # line 17
+        self.stack.ip.run(f"route add default dev ppp0 table {table}")
+
+    def remove(self, table):
+        self.stack.ip.run(f"route flush table {table}")
+
+
+class PairsEverything:
+    def up(self, trace):
+        self._span = trace.span("fleet.lease")
+        self.stack.ip.run("rule add pref 100")
+
+    def down(self):
+        if self._span is not None:
+            self._span.end()
+        self.stack.ip.run("rule del pref 100")

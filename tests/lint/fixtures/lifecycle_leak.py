@@ -1,0 +1,41 @@
+"""Fixture: per-function lifecycle leaks (and one clean teardown)."""
+
+
+class Backend:
+    def early_return_skips_span(self, trace, fast):
+        span = trace.span("umts.cmd")  # line 6: leak-on-return
+        if fast:
+            return 1
+        span.end()
+        return 0
+
+    def lock_leaks_on_raise(self):
+        self.lock.acquire("slice")  # line 13: leak-on-raise
+        yield from self.connect()
+        self.lock.release("slice")
+
+    def unprotected_teardown(self):
+        yield from self.disconnect()
+        self.lock.release("slice")  # line 19: unprotected-teardown
+
+    def discarded_span(self, trace):
+        trace.span("umts.cmd")  # line 22: acquired and discarded
+
+    def with_statement_is_exempt(self, trace):
+        with trace.span("umts.cmd"):
+            return self.status()
+
+    def clean_guarded_finally(self, trace, ok):
+        span = trace.span("umts.cmd")
+        try:
+            yield from self.connect()
+        finally:
+            if span is not None:
+                span.end()
+        return ok
+
+    def clean_event_handler(self, reason):
+        # Conditional cleanup is not teardown: stays quiet.
+        if self.lock.locked:
+            self.lock.force_release()
+        return reason

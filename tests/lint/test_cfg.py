@@ -1,0 +1,153 @@
+"""CFG builder unit tests: raise edges, virtual exits, finally fan-join."""
+
+import ast
+
+from repro.lint.cfg import (
+    EXIT_NORMAL,
+    EXIT_RAISE,
+    build_cfg,
+    function_defs,
+    is_switch_point,
+    teardown_skippable,
+)
+
+
+def cfg_for(source: str):
+    func = next(iter(function_defs(ast.parse(source))))
+    return build_cfg(func)
+
+
+def node_at(cfg, line: int) -> int:
+    for node in cfg.nodes:
+        if node.stmt.lineno == line:
+            return node.index
+    raise AssertionError(f"no CFG node at line {line}")
+
+
+class TestRaiseEdges:
+    def test_plain_calls_never_raise(self):
+        cfg = cfg_for("def f(self):\n    self.do()\n    return 1\n")
+        exits = cfg.reachable([cfg.entry])
+        assert EXIT_NORMAL in exits
+        assert EXIT_RAISE not in exits
+
+    def test_yield_is_a_raise_point(self):
+        cfg = cfg_for("def f(self):\n    yield self.do()\n    return 1\n")
+        exits = cfg.reachable([cfg.entry])
+        assert EXIT_NORMAL in exits
+        assert EXIT_RAISE in exits
+
+    def test_explicit_raise_is_a_raise_point(self):
+        cfg = cfg_for("def f(self):\n    raise ValueError('no')\n")
+        exits = cfg.reachable([cfg.entry])
+        assert exits == {cfg.entry, EXIT_RAISE}
+
+    def test_nested_def_is_opaque(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    def on_lost(reason):\n"
+            "        yield reason\n"
+            "    self.subscribe(on_lost)\n"
+        )
+        assert EXIT_RAISE not in cfg.reachable([cfg.entry])
+        nested = next(iter(function_defs(ast.parse("def g():\n    yield 1\n"))))
+        assert not is_switch_point(nested)
+
+
+class TestLoops:
+    def test_while_true_has_no_fall_through(self):
+        cfg = cfg_for("def f(self):\n    while True:\n        self.tick()\n")
+        assert EXIT_NORMAL not in cfg.reachable([cfg.entry])
+
+    def test_break_leaves_an_infinite_loop(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    while True:\n"
+            "        if self.done:\n"
+            "            break\n"
+        )
+        assert EXIT_NORMAL in cfg.reachable([cfg.entry])
+
+    def test_ordinary_while_falls_through(self):
+        cfg = cfg_for("def f(self):\n    while self.busy:\n        self.tick()\n")
+        assert EXIT_NORMAL in cfg.reachable([cfg.entry])
+
+
+class TestTryExcept:
+    def test_catch_all_absorbs_the_raise_edge(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    try:\n"
+            "        yield self.dial()\n"
+            "    except Exception:\n"
+            "        return None\n"
+            "    return 1\n"
+        )
+        assert EXIT_RAISE not in cfg.reachable([cfg.entry])
+
+    def test_specific_handler_lets_the_raise_escape(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    try:\n"
+            "        yield self.dial()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+            "    return 1\n"
+        )
+        exits = cfg.reachable([cfg.entry])
+        assert EXIT_RAISE in exits  # the raised type may match no handler
+        assert EXIT_NORMAL in exits
+
+
+class TestFinallyFanJoin:
+    SOURCE = (
+        "def f(self):\n"
+        "    try:\n"
+        "        yield self.dial()\n"
+        "    finally:\n"
+        "        self.lock.release()\n"
+        "    return 1\n"
+    )
+
+    def test_every_exit_routes_through_finally(self):
+        cfg = cfg_for(self.SOURCE)
+        release = node_at(cfg, 5)
+        # Blocking the finally body blocks both the normal and the
+        # exceptional exit: no path escapes around it.
+        survivors = cfg.reachable([cfg.entry], stop=[release])
+        assert EXIT_NORMAL not in survivors
+        assert EXIT_RAISE not in survivors
+
+    def test_without_finally_the_raise_escapes(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    yield self.dial()\n"
+            "    self.lock.release()\n"
+            "    return 1\n"
+        )
+        survivors = cfg.reachable([cfg.entry], stop=[node_at(cfg, 3)])
+        assert EXIT_NORMAL not in survivors
+        assert EXIT_RAISE in survivors
+
+
+class TestTeardownSkippable:
+    def test_unconditional_release_after_yield_is_skippable(self):
+        cfg = cfg_for("def f(self):\n    yield self.stop()\n    self.lock.release()\n")
+        assert teardown_skippable(cfg, [node_at(cfg, 3)])
+
+    def test_finally_protected_release_is_not(self):
+        cfg = cfg_for(TestFinallyFanJoin.SOURCE)
+        assert not teardown_skippable(cfg, [node_at(cfg, 5)])
+
+    def test_conditional_release_is_not_teardown(self):
+        cfg = cfg_for(
+            "def f(self):\n"
+            "    yield self.stop()\n"
+            "    if self.lock.locked:\n"
+            "        self.lock.release()\n"
+        )
+        assert not teardown_skippable(cfg, [node_at(cfg, 4)])
+
+    def test_no_release_nodes_is_never_skippable(self):
+        cfg = cfg_for("def f(self):\n    yield self.stop()\n")
+        assert not teardown_skippable(cfg, [])

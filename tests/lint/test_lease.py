@@ -1,0 +1,81 @@
+"""lease-protocol rule: fixtures and the fleet campaign's own teardown."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def fixture_findings():
+    return lint_paths([FIXTURES / "lease_protocol.py"], rule_ids=["lease-protocol"])
+
+
+class TestLeaseFixture:
+    def test_every_protocol_violation_fires(self):
+        findings = fixture_findings()
+        assert [f.line for f in findings] == [6, 9, 16, 20, 20, 27, 35, 41, 50]
+
+    def test_messages_name_the_obligation(self):
+        by_line = {}
+        for finding in fixture_findings():
+            by_line.setdefault(finding.line, []).append(finding.message)
+        assert "lease ticket discarded" in by_line[6][0]
+        assert "outcome is never awaited" in by_line[9][0]
+        assert "lease outcome ignored" in by_line[16][0]
+        assert "unknown lease status literal 'denied'" in by_line[20][0]
+        assert "'failed' lease outcome unhandled" in by_line[20][1]
+        assert "never checked" in by_line[27][0]
+        assert "lost-wakeup window" in by_line[35][0]
+        assert "wait(...) on line 36" in by_line[35][0]
+        assert "revoked is never subscribed" in by_line[41][0]
+        assert "controller.release(...) can be skipped" in by_line[50][0]
+
+    def test_the_correct_protocol_is_clean(self):
+        # `clean` follows every obligation; nothing fires after line 50.
+        assert all(f.line <= 50 for f in fixture_findings())
+
+    def test_early_bailout_release_is_not_teardown(self):
+        # never_subscribes releases on line 45 behind an early return;
+        # conditional release is not flagged as skippable teardown.
+        assert 45 not in [f.line for f in fixture_findings()]
+
+
+class TestRealCampaign:
+    """PR 7's driver must satisfy its own protocol — and deleting the
+    teardown's finally makes the rule catch the leaked lease."""
+
+    CAMPAIGN = SRC / "fleet" / "campaign.py"
+
+    def test_shipped_campaign_is_clean(self, tmp_path):
+        copy = tmp_path / "campaign_copy.py"
+        copy.write_text(self.CAMPAIGN.read_text())
+        assert lint_paths([copy], rule_ids=["lease-protocol"]) == []
+
+    def test_deleting_the_teardown_finally_reports_the_leak(self, tmp_path):
+        source = self.CAMPAIGN.read_text()
+        protected = (
+            "        try:\n"
+            "            yield umts.stop()\n"
+            "        finally:\n"
+            "            # Even a fault thrown into the stop must free the lease:\n"
+            "            # a leaked ticket starves every later waiter on the node.\n"
+            "            umts.close()\n"
+            "            self.controller.release(ticket)\n"
+        )
+        assert protected in source, "campaign._teardown moved; update the test"
+        unprotected = (
+            "        yield umts.stop()\n"
+            "        umts.close()\n"
+            "        self.controller.release(ticket)\n"
+        )
+        mutated = tmp_path / "campaign_mutated.py"
+        mutated.write_text(source.replace(protected, unprotected))
+        findings = lint_paths([mutated], rule_ids=["lease-protocol"])
+        assert len(findings) == 1
+        assert "controller.release(...) can be skipped" in findings[0].message
+
+    def test_controller_home_is_exempt(self):
+        controller = SRC / "fleet" / "controller.py"
+        assert lint_paths([controller], rule_ids=["lease-protocol"]) == []

@@ -1,0 +1,109 @@
+"""Sharded lint: worker-count parity and the content-addressed cache."""
+
+from pathlib import Path
+
+from repro.lint import jsonl_report, lint_campaign, lint_paths, ruleset_digest
+from repro.parallel import ResultCache, lint_jobs
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+#: A slice of the real tree that exercises both project-phase rules.
+TARGETS = [SRC / "core", SRC / "fleet"]
+
+
+def report_bytes(findings) -> bytes:
+    return ("\n".join(jsonl_report(findings)) + "\n").encode()
+
+
+class TestWorkerParity:
+    def test_j2_findings_match_sequential_byte_for_byte(self):
+        sequential = lint_paths(TARGETS)
+        sharded, campaign = lint_campaign(TARGETS, workers=2)
+        assert report_bytes(sharded) == report_bytes(sequential)
+        assert campaign.workers == 2
+
+    def test_parity_holds_with_findings_present(self, tmp_path):
+        # Copy two real modules and break both, so per-file findings
+        # AND project-phase findings must merge identically.
+        backend = tmp_path / "backend.py"
+        backend.write_text(
+            (SRC / "core" / "backend.py").read_text().replace(
+                "        except BaseException:\n", "        except ValueError:\n"
+            )
+        )
+        isolation = tmp_path / "isolation.py"
+        isolation.write_text(
+            (SRC / "core" / "isolation.py").read_text().replace(
+                '        self.stack.ip.run(f"rule del pref {PREF_SRC_RULE}")\n', ""
+            )
+        )
+        sequential = lint_paths([tmp_path], rule_ids=["resource-lifecycle"])
+        assert sequential != []  # the mutations are visible
+        sharded, _ = lint_campaign(
+            [tmp_path], rule_ids=["resource-lifecycle"], workers=2
+        )
+        assert report_bytes(sharded) == report_bytes(sequential)
+
+
+class TestLintJobs:
+    def test_job_keys_are_per_file_and_content_addressed(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("A = 1\n")
+        before = lint_jobs([target], ["wall-clock"])[0]
+        assert before.key == f"lint:{target}"
+        target.write_text("A = 2\n")
+        after = lint_jobs([target], ["wall-clock"])[0]
+        assert before.key == after.key  # same identity ...
+        assert before.payload["digest"] != after.payload["digest"]  # ... new content
+
+    def test_rule_selection_is_part_of_the_payload(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("A = 1\n")
+        narrow = lint_jobs([target], ["wall-clock"])[0]
+        wide = lint_jobs([target], ["wall-clock", "retry-policy"])[0]
+        assert narrow.payload_json() != wide.payload_json()
+
+
+class TestLintCache:
+    def make_tree(self, tmp_path: Path) -> Path:
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text(
+            "import time\n\n\ndef stamp() -> float:\n    return time.time()\n"
+        )
+        (tree / "b.py").write_text("B = 2\n")
+        return tree
+
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache = ResultCache(root=tmp_path / "cache", source_digest="lint-test")
+        cold, _ = lint_campaign([tree], workers=1, cache=cache)
+        assert cache.stats.as_dict()["misses"] == 2
+        assert cache.stats.as_dict()["stores"] == 2
+        warm, _ = lint_campaign([tree], workers=1, cache=cache)
+        assert cache.stats.as_dict()["hits"] == 2
+        assert report_bytes(warm) == report_bytes(cold)
+
+    def test_cache_is_shared_across_worker_counts(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache = ResultCache(root=tmp_path / "cache", source_digest="lint-test")
+        lint_campaign([tree], workers=1, cache=cache)
+        sharded, _ = lint_campaign([tree], workers=2, cache=cache)
+        assert cache.stats.as_dict()["hits"] == 2
+        assert [f.rule for f in sharded] == ["wall-clock"]
+
+    def test_editing_a_file_invalidates_only_its_entry(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache = ResultCache(root=tmp_path / "cache", source_digest="lint-test")
+        lint_campaign([tree], workers=1, cache=cache)
+        (tree / "b.py").write_text("import time\nB = time.time()\n")
+        findings, _ = lint_campaign([tree], workers=1, cache=cache)
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == 1  # a.py untouched
+        assert stats["misses"] == 3  # cold a+b, then the edited b
+        assert sorted(f.path.endswith("b.py") for f in findings) == [False, True]
+
+    def test_ruleset_digest_is_a_real_sha256(self):
+        digest = ruleset_digest()
+        assert len(digest) == 64
+        assert digest == ruleset_digest()  # cached and stable in-process

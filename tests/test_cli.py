@@ -279,3 +279,64 @@ def test_lint_jsonl_stdout(tmp_path, capsys):
     out = capsys.readouterr().out
     record = json.loads(out.splitlines()[0])
     assert record["rule"] == "unseeded-random"
+
+
+def test_lint_unknown_rule_lists_the_known_ones(capsys):
+    assert main(["lint", "--rule", "warp-drive"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule 'warp-drive'" in err
+    assert "available:" in err
+    assert "resource-lifecycle" in err
+    assert "lease-protocol" in err
+
+
+def _leaky_tree(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        "import time\n\n\ndef stamp() -> float:\n    return time.time()\n"
+    )
+    (tree / "leak.py").write_text(
+        "class C:\n"
+        "    def f(self, trace: object, fast: bool) -> int:\n"
+        "        span = trace.span('umts.cmd')\n"
+        "        if fast:\n"
+        "            return 1\n"
+        "        span.end()\n"
+        "        return 0\n"
+    )
+    return tree
+
+
+def test_lint_sharded_report_is_byte_identical(tmp_path, capsys):
+    tree = _leaky_tree(tmp_path)
+    sequential = tmp_path / "j1.jsonl"
+    sharded = tmp_path / "j2.jsonl"
+    assert main(["lint", "-j", "1", "--no-cache",
+                 "--jsonl", str(sequential), str(tree)]) == 1
+    capsys.readouterr()
+    assert main(["lint", "-j", "2", "--no-cache",
+                 "--jsonl", str(sharded), str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert sequential.read_bytes() == sharded.read_bytes()
+    assert "campaign: 2 file(s) across 2 worker(s)" in out
+
+
+def test_lint_cache_warms_across_runs(tmp_path, capsys):
+    tree = _leaky_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    argv = ["lint", "--cache-dir", str(cache_dir), "--cache-stats", str(tree)]
+    assert main(argv) == 1
+    cold = capsys.readouterr().out
+    assert "misses=2" in cold and "stores=2" in cold
+    assert main(argv) == 1
+    warm = capsys.readouterr().out
+    assert "hits=2" in warm
+    assert "lint: 2 finding(s)" in warm
+
+
+def test_lint_overlapping_paths_count_once(tmp_path, capsys):
+    tree = _leaky_tree(tmp_path)
+    assert main(["lint", "--no-cache", str(tree), str(tree / "hot.py")]) == 1
+    out = capsys.readouterr().out
+    assert "lint: 2 finding(s)" in out

@@ -314,16 +314,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.faults.chaos import BUILTIN_SCENARIOS
-    from repro.parallel import chaos_jobs, run_campaign
+    from repro.parallel import chaos_jobs, run_campaign, scenario_jobs
 
     if args.list:
+        if args.scenario_grammar:
+            from repro.scenarios import point_names
+
+            for name in point_names():
+                print(name)
+            return 0
         for scenario in BUILTIN_SCENARIOS:
             print(f"{scenario.name:<24} expect {scenario.expected:<10} "
                   f"{scenario.description}")
         return 0
     cache = _make_cache(args)
     try:
-        jobs = chaos_jobs(names=args.scenario or None)
+        if args.scenario_grammar:
+            from repro.scenarios import ScenarioSpecError
+
+            try:
+                jobs = scenario_jobs(names=args.scenario or None)
+            except ScenarioSpecError as exc:
+                print(f"chaos: {exc}", file=sys.stderr)
+                return 2
+        else:
+            jobs = chaos_jobs(names=args.scenario or None)
     except KeyError as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -343,6 +358,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 report["ok"] = False
     for report in reports:
         verdict = "ok  " if report["ok"] else "FAIL"
+        if args.scenario_grammar:
+            detail = report["outcome"]
+            if args.check and not report.get("deterministic", True):
+                detail += " NON-DETERMINISTIC"
+            print(f"{verdict} {report['scenario']:<28} {detail:<12} "
+                  f"ho={report['handovers']} reneg={report['renegotiations']} "
+                  f"t={report['sim_time']:.1f}s")
+            continue
         detail = f"{report['outcome']} (expected {report['expected']})"
         if args.check and not report.get("deterministic", True):
             detail += " NON-DETERMINISTIC"
@@ -389,7 +412,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     paths = [PATH_UMTS, PATH_ETHERNET] if args.path == "both" else [args.path]
     cache = _make_cache(args)
     try:
-        jobs = sweep_jobs(args.kind, seeds=seeds, paths=paths, duration=args.duration)
+        jobs = sweep_jobs(
+            args.kind, seeds=seeds, paths=paths, duration=args.duration,
+            scenario=args.scenario,
+        )
     except (KeyError, ValueError) as exc:
         print(f"sweep: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -433,6 +459,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             seed=args.seed,
             faults=tuple(args.fault or ()),
             preemption=not args.no_preempt,
+            scenarios=tuple(args.scenario or ()),
         )
     except FleetSpecError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
@@ -717,6 +744,12 @@ def main(argv=None) -> int:
         help="run only this scenario (repeatable; default: all)",
     )
     chaos_parser.add_argument(
+        "--scenario-grammar", action="store_true",
+        help="run the scenario grammar's enumerated points instead of "
+             "the built-in fault matrix (--scenario then names grammar "
+             "points like climb/fade/visit/tunnel)",
+    )
+    chaos_parser.add_argument(
         "--list", action="store_true", help="list built-in scenarios and exit"
     )
     chaos_parser.add_argument(
@@ -744,6 +777,11 @@ def main(argv=None) -> int:
         help=f"which path(s) to run (default: {PATH_UMTS})",
     )
     sweep_parser.add_argument("--duration", type=float, default=30.0)
+    sweep_parser.add_argument(
+        "--scenario", default=None, metavar="POINT",
+        help="run over this scenario-grammar point's testbed "
+             "(e.g. climb/fade/visit/tunnel)",
+    )
     sweep_parser.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="write per-run records as JSON lines to PATH",
@@ -812,6 +850,11 @@ def main(argv=None) -> int:
     fleet_parser.add_argument(
         "--fault", action="append", metavar="SPEC",
         help="fault spec (repeatable), e.g. fleet:node_kill@t=40,node=2",
+    )
+    fleet_parser.add_argument(
+        "--scenario", action="append", metavar="POINT",
+        help="scenario-grammar point assigned round-robin across nodes "
+             "(repeatable), e.g. climb/fade/home/local",
     )
     fleet_parser.add_argument(
         "--check", action="store_true",

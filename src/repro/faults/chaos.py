@@ -179,11 +179,13 @@ class _Collector:
         self.events.append(event)
 
 
-def _digest(events: Sequence[TraceEvent]) -> str:
+def trace_digest(events: Sequence[TraceEvent]) -> str:
     """SHA-256 over the trace, wall-clock fields excluded.
 
     ``span_end`` events carry a ``wall`` field (host CPU seconds);
     everything else in a trace record is a pure function of the seed.
+    Shared with the scenario-grammar harness so every runner's digests
+    mean the same thing.
     """
     hasher = hashlib.sha256()
     for event in events:
@@ -196,7 +198,7 @@ def _digest(events: Sequence[TraceEvent]) -> str:
     return hasher.hexdigest()
 
 
-def _clean_state(testbed: OneLabScenario) -> bool:
+def clean_state(testbed: OneLabScenario) -> bool:
     """The invariant every scenario must end on: nothing left behind."""
     backend = testbed.napoli.umts_backend
     stack = testbed.napoli.stack
@@ -260,7 +262,7 @@ def run_scenario(
         supervisor.stop()
 
     hung = not state["finished"]
-    clean = not hung and _clean_state(testbed)
+    clean = not hung and clean_state(testbed)
     start = state["start"]
     status = state["status"]
     stop = state["stop"]
@@ -297,7 +299,7 @@ def run_scenario(
         "retries": testbed.napoli.connection.retries,
         "events": len(collector.events),
         "sim_time": round(sim.now, 6),
-        "digest": _digest(collector.events),
+        "digest": trace_digest(collector.events),
     }
 
 

@@ -38,7 +38,9 @@ from repro.sim.engine import Simulator
 #: Every valid (point, mode) pair; ``from_spec`` rejects anything else
 #: so a typo cannot silently produce a fault that never fires.
 CATALOG: Dict[str, Tuple[str, ...]] = {
-    "serial": ("drop", "garble"),
+    # drop/garble hit any item; at_drop/latency hit AT lines only (the
+    # MobileAtlas remote-SIM tunnel — see repro.modem.serial).
+    "serial": ("drop", "garble", "at_drop", "latency"),
     "registration": ("cme_error", "denied", "searching"),
     "dial": ("no_carrier",),
     "ppp": ("lcp_drop", "ipcp_stall"),

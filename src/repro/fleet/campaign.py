@@ -96,6 +96,41 @@ class GroupRun:
             registry = plan.install(sim, rng=self.group.streams.stream("faults"))
             self.controller.bind_faults(registry)
         self.records: List[Dict[str, Any]] = []
+        self._schedule_scenarios()
+
+    def _schedule_scenarios(self) -> None:
+        """Arm each node's grammar point: ladder moves and handovers.
+
+        Events fire at absolute sim times; one that lands while the
+        node has no data call up is simply a no-op (the lease may be
+        held by a later wave at that moment), keeping the schedule a
+        pure function of the spec.
+        """
+        sim = self.group.sim
+        for node in self.group.nodes:
+            scenario = self.group.node_scenarios.get(node.name)
+            if scenario is None:
+                continue
+            for at, target in scenario.ladder.moves:
+                sim.schedule(at, self._apply_move, node, target)
+            for at, csq, cell in self.group.node_handover_cells.get(node.name, ()):
+                sim.schedule(at, self._apply_handover, node, cell, csq)
+
+    def _apply_move(self, node: PlanetLabNode, target: int) -> None:
+        call = self.group.call_for(node)
+        if call is not None:
+            call.rab.renegotiate(target)
+
+    def _apply_handover(self, node: PlanetLabNode, cell: Any, csq: int) -> None:
+        from repro.scenarios import signal_grade_cap
+
+        node.modem.handover_to(cell)
+        call = self.group.call_for(node)
+        if call is not None:
+            scenario = self.group.node_scenarios[node.name]
+            call.rab.renegotiate(
+                signal_grade_cap(csq, len(scenario.ladder.rats))
+            )
 
     def _make_on_kill(self, node: PlanetLabNode) -> Any:
         def on_kill(reason: str) -> None:
@@ -112,6 +147,7 @@ class GroupRun:
         sim = self.group.sim
         for pair_index, (sender, receiver) in enumerate(self.group.pairs()):
             for slice_index, slice_spec in enumerate(self.spec.slices):
+                sender_scenario = self.group.node_scenarios.get(sender.name)
                 record = {
                     "experiment": (
                         f"g{self.group_index:04d}.p{pair_index:02d}."
@@ -121,6 +157,7 @@ class GroupRun:
                     "peer": receiver.name,
                     "slice": slice_spec.name,
                     "priority": slice_spec.priority,
+                    "scenario": "" if sender_scenario is None else sender_scenario.name,
                     "attempts": 0,
                     "outcome": "pending",
                     "done": False,

@@ -51,12 +51,18 @@ class SliceSpec:
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One simulated PlanetLab node: name plus its LAN addressing."""
+    """One simulated PlanetLab node: name plus its LAN addressing.
+
+    ``scenario`` names the scenario-grammar point shaping this node's
+    radio (its cell's bearer ladder and handover schedule); empty means
+    the plain operator defaults.
+    """
 
     name: str
     address: str
     gateway: str
     prefix_len: int = 24
+    scenario: str = ""
 
 
 #: The default contention pair: a best-effort slice that leases first
@@ -85,6 +91,10 @@ class FleetSpec:
     retry_preempted: int = 1
     starvation_threshold: float = 120.0
     deadline: float = 0.0  # 0: derive from the slice/workload shape
+    #: Scenario-grammar points assigned round-robin across the fleet's
+    #: nodes (node ``k`` of the whole fleet draws ``scenarios[k % n]``),
+    #: so one spec covers many grammar points deterministically.
+    scenarios: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -124,6 +134,16 @@ class FleetSpec:
                 FaultPlan.from_spec(*self.faults)
             except FaultSpecError as exc:
                 raise FleetSpecError(f"bad fault spec: {exc}") from None
+        # Same eagerness for scenario-grammar points: an unknown name
+        # fails at spec build time, with the grammar's own message.
+        if self.scenarios:
+            from repro.scenarios import ScenarioSpecError, grammar_point
+
+            for name in self.scenarios:
+                try:
+                    grammar_point(name)
+                except ScenarioSpecError as exc:
+                    raise FleetSpecError(f"bad scenario: {exc}") from None
 
     # -- sharding ---------------------------------------------------------
 
@@ -151,13 +171,21 @@ class FleetSpec:
             raise FleetSpecError(
                 f"group index {group_index!r} out of range (0..{len(sizes) - 1})"
             )
+        # Scenario assignment uses the node's *fleet-wide* index, so a
+        # node's grammar point never depends on how the fleet happens
+        # to be sharded into groups.
+        base = sum(sizes[:group_index])
         specs = []
         for i in range(sizes[group_index]):
+            scenario = ""
+            if self.scenarios:
+                scenario = self.scenarios[(base + i) % len(self.scenarios)]
             specs.append(
                 NodeSpec(
                     name=f"fleet{group_index:04d}-n{i:02d}.onelab.eu",
                     address=f"10.{64 + i}.0.100",
                     gateway=f"10.{64 + i}.0.1",
+                    scenario=scenario,
                 )
             )
         return specs
@@ -191,6 +219,7 @@ class FleetSpec:
             "retry_preempted": self.retry_preempted,
             "starvation_threshold": self.starvation_threshold,
             "deadline": self.deadline,
+            "scenarios": list(self.scenarios),
         }
 
     @classmethod
@@ -213,4 +242,5 @@ class FleetSpec:
             retry_preempted=int(payload["retry_preempted"]),
             starvation_threshold=float(payload["starvation_threshold"]),
             deadline=float(payload["deadline"]),
+            scenarios=tuple(payload.get("scenarios", ())),
         )

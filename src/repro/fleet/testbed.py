@@ -8,11 +8,19 @@ slice in the spec (each authorized for the ``umts`` vsys script) — so
 the paper's one-slice-at-a-time exclusivity rule is contested on every
 single node, which is exactly what the
 :class:`~repro.fleet.controller.FleetController` arbitrates.
+
+A node spec may name a scenario-grammar point; the group then shapes
+that node's *radio*: its cell carries the point's bearer ladder and
+its handover target cells are pre-built (the campaign schedules the
+mid-call events).  The grammar's roaming and remote-SIM dimensions are
+single-testbed concerns (a second operator; sim-global serial faults)
+and are exercised by ``repro chaos --scenario-grammar``, not per fleet
+node.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.modem.cards import GlobetrotterGT3G
 from repro.sim.engine import Simulator
@@ -25,6 +33,9 @@ from repro.umts.operator import commercial_operator
 from repro.vserver.slice import Slice
 
 from repro.fleet.spec import FleetSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ScenarioSpec
 
 
 class FleetGroup:
@@ -47,6 +58,11 @@ class FleetGroup:
             s.name: Slice(s.name, s.xid) for s in spec.slices
         }
         self.nodes: List[PlanetLabNode] = []
+        #: node name → the grammar point shaping its radio (if any).
+        self.node_scenarios: Dict[str, "ScenarioSpec"] = {}
+        #: node name → ``(at, csq, cell)`` handover targets, pre-built
+        #: here so cell creation order (and names) is deterministic.
+        self.node_handover_cells: Dict[str, List[Tuple[float, int, object]]] = {}
         for node_spec in spec.node_specs(group_index):
             node = PlanetLabNode(
                 self.sim, node_spec.name, self.streams.fork(node_spec.name)
@@ -60,8 +76,28 @@ class FleetGroup:
             )
             for slice_spec in spec.slices:
                 node.create_sliver(self.slices[slice_spec.name])
-            cell = self.operator.new_cell()
+            scenario = None
+            if node_spec.scenario:
+                from repro.scenarios import grammar_point
+
+                scenario = grammar_point(node_spec.scenario)
+                self.node_scenarios[node_spec.name] = scenario
+            cell = self.operator.new_cell(
+                rab_config=None if scenario is None else scenario.ladder.rab_config()
+            )
             node.install_umts_card(GlobetrotterGT3G, cell, apn=self.operator.apn)
+            if scenario is not None and scenario.handover.events:
+                self.node_handover_cells[node_spec.name] = [
+                    (
+                        at,
+                        csq,
+                        self.operator.new_cell(
+                            base_csq=csq,
+                            rab_config=scenario.ladder.rab_config(),
+                        ),
+                    )
+                    for at, csq in scenario.handover.events
+                ]
             for slice_spec in spec.slices:
                 node.authorize_umts(slice_spec.name)
             self.operator.dns.add_record(node_spec.name, node_spec.address)

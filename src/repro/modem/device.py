@@ -93,6 +93,31 @@ class Modem3G:
         self.registration = RegistrationStatus.SEARCHING
         spawn(self.sim, self._register(), name="modem-register")
 
+    def handover_to(self, network) -> None:
+        """Inter-cell handover: re-camp on ``network`` without a re-dial.
+
+        Models the make-before-break hard handover UTRAN performs for
+        a moving terminal: the old cell is told we left, the new cell
+        answers the registration immediately (no fresh network search —
+        the RNC prepared the target), and an active data call survives;
+        only the bearer grade may change afterwards, which the scenario
+        driver renegotiates explicitly.
+        """
+        old = self.network
+        if old is not None and hasattr(old, "detach"):
+            old.detach(self)
+        self.network = network
+        self.registration = network.registration_result(self)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                "modem.handover",
+                port=self.port.name,
+                cell=getattr(network, "name", "?"),
+                operator=getattr(network, "operator_name", "?"),
+                in_call=self._data_call is not None,
+            )
+
     def _register(self):
         if self.network is None:
             # Coverage vanished before the search even started.

@@ -5,6 +5,16 @@ The port carries Python objects: strings are command/response lines
 data-mode traffic.  Byte-level framing is modelled separately
 (:mod:`repro.ppp.hdlc`); carrying parsed objects keeps the tools'
 logic readable without changing any behaviour the experiments see.
+
+Fault modes on the modem → host direction:
+
+- ``drop`` / ``garble`` hit any item (line noise on the local cable);
+- ``latency`` / ``at_drop`` hit *strings only* — they model a
+  MobileAtlas-style remote SIM where the AT dialogue is tunnelled over
+  the wide-area network while the user plane stays local, so only
+  command/response lines see the tunnel's delay and loss.  Delayed
+  lines stay FIFO: a later response is never delivered before an
+  earlier delayed one.
 """
 
 from __future__ import annotations
@@ -32,6 +42,11 @@ class SerialPort:
         self.modem_writes = 0
         self.dropped_items = 0
         self.garbled_items = 0
+        self.delayed_items = 0
+        # When a delayed line is in flight, everything behind it must
+        # queue too (FIFO over the remote-SIM tunnel); this is the sim
+        # time at which the line becomes free again.
+        self._delivery_horizon = 0.0
 
     # -- host side ------------------------------------------------------
 
@@ -66,6 +81,28 @@ class SerialPort:
                     return
                 self.garbled_items += 1
                 item = Garbled(item)
+            elif isinstance(item, str):
+                # Remote-SIM tunnel faults apply to AT lines only; the
+                # user plane (PPP frames) never crosses the tunnel.
+                spec = faults.fire("serial", "at_drop", "latency")
+                if spec is not None:
+                    if spec.mode == "at_drop":
+                        self.dropped_items += 1
+                        return
+                    delay = float(spec.params.get("delay", 0.5))
+                    self.delayed_items += 1
+                    when = max(self.sim.now + delay, self._delivery_horizon)
+                    self._delivery_horizon = when
+                    self.sim.schedule(when - self.sim.now, self._to_host.put, item)
+                    return
+        if self._delivery_horizon > self.sim.now:
+            # A delayed line is still in flight: keep FIFO order by
+            # routing this item through the scheduler behind it (the
+            # engine's seq tiebreak preserves submission order).
+            self.sim.schedule(
+                self._delivery_horizon - self.sim.now, self._to_host.put, item
+            )
+            return
         self._to_host.put(item)
 
     def _modem_read(self) -> StoreGet:

@@ -22,6 +22,7 @@ from repro.parallel.entrypoints import (
     chaos_jobs,
     fleet_jobs,
     lint_jobs,
+    scenario_jobs,
     sweep_jobs,
 )
 from repro.parallel.jobs import (
@@ -60,6 +61,7 @@ __all__ = [
     "lint_jobs",
     "resolve_entry_point",
     "run_campaign",
+    "scenario_jobs",
     "source_tree_digest",
     "sweep_jobs",
     "tree_digest",

@@ -79,6 +79,38 @@ def run_chaos_job(payload: Dict[str, Any]) -> JobOutput:
     return JobOutput(stable=stable, volatile={}, metrics=metrics.snapshot())
 
 
+# -- scenario grammar ------------------------------------------------------
+
+
+def scenario_jobs(names: Optional[Sequence[str]] = None) -> List[Job]:
+    """One job per scenario-grammar point (``repro chaos --scenario-grammar``).
+
+    Defaults to the full enumerated grammar; explicit ``names`` are
+    validated eagerly against the catalogs so a typo fails before any
+    worker starts.
+    """
+    from repro.scenarios import grammar_point, point_names
+
+    selected = list(names) if names else point_names()
+    for name in selected:
+        grammar_point(name)  # raises ScenarioSpecError on unknown points
+    return [
+        Job(kind="scenario", key=f"scenario:{name}", payload={"point": name})
+        for name in selected
+    ]
+
+
+@entry_point("scenario")
+def run_scenario_job(payload: Dict[str, Any]) -> JobOutput:
+    """Instantiate and run one grammar point under a fresh registry."""
+    from repro.scenarios import grammar_point, run_grammar_scenario
+
+    spec = grammar_point(payload["point"])
+    metrics = MetricsRegistry()
+    report = run_grammar_scenario(spec, metrics=metrics)
+    return JobOutput(stable=report, volatile={}, metrics=metrics.snapshot())
+
+
 # -- bench ----------------------------------------------------------------
 
 
@@ -216,12 +248,23 @@ def sweep_jobs(
     seeds: Sequence[int],
     paths: Sequence[str],
     duration: float,
+    scenario: Optional[str] = None,
 ) -> List[Job]:
-    """The seed × path product for one workload kind."""
+    """The seed × path product for one workload kind.
+
+    ``scenario`` names a scenario-grammar point (validated eagerly);
+    the sweep then runs over that grammar point's testbed — the ladder
+    as the bearer config, roaming/handover/remote-SIM events armed —
+    instead of the plain OneLab scenario.
+    """
     if kind not in SWEEP_KINDS:
         raise KeyError(f"unknown sweep kind {kind!r} (known: {', '.join(SWEEP_KINDS)})")
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration!r}")
+    if scenario is not None:
+        from repro.scenarios import grammar_point
+
+        grammar_point(scenario)  # raises ScenarioSpecError on unknown points
     jobs = []
     for path in paths:
         for seed in seeds:
@@ -231,10 +274,11 @@ def sweep_jobs(
                 "seed": int(seed),
                 "duration": float(duration),
             }
-            jobs.append(
-                Job(kind="sweep", key=f"sweep:{kind}:{path}:seed={seed:06d}",
-                    payload=payload)
-            )
+            key = f"sweep:{kind}:{path}:seed={seed:06d}"
+            if scenario is not None:
+                payload["scenario"] = scenario
+                key += f":scenario={scenario}"
+            jobs.append(Job(kind="sweep", key=key, payload=payload))
     return jobs
 
 
@@ -249,9 +293,19 @@ def run_sweep_job(payload: Dict[str, Any]) -> JobOutput:
     # Build the scenario explicitly so a fresh registry rides along;
     # instrumentation never changes dispatch order, so the digest is
     # the same as an unmetered run.
-    scenario = OneLabScenario(seed=payload["seed"])
     metrics = MetricsRegistry()
-    scenario.sim.metrics = metrics
+    point = payload.get("scenario")
+    if point is not None:
+        from repro.scenarios import GrammarHarness, grammar_point
+
+        harness = GrammarHarness(
+            grammar_point(point), seed=payload["seed"], metrics=metrics
+        )
+        harness.arm()
+        scenario = harness.testbed
+    else:
+        scenario = OneLabScenario(seed=payload["seed"])
+        scenario.sim.metrics = metrics
     result = run_characterization(
         spec_fn(duration=payload["duration"]),
         path=payload["path"],
@@ -265,6 +319,7 @@ def run_sweep_job(payload: Dict[str, Any]) -> JobOutput:
         "seed": payload["seed"],
         "duration": payload["duration"],
         "digest": run_digest(result),
+        **({"scenario": point} if point is not None else {}),
         "summary": {
             "packets_sent": summary.packets_sent,
             "packets_received": summary.packets_received,

@@ -1,0 +1,60 @@
+"""The scenario grammar: declarative workload shapes for every harness.
+
+One validated spec layer (:mod:`repro.scenarios.spec`), one enumerable
+grammar over it (:mod:`repro.scenarios.grammar`), one instantiation
+path onto the OneLab testbed (:mod:`repro.scenarios.instantiate`).
+The chaos campaign (``repro chaos --scenario-grammar``), the sweep
+runner, the fleet node specs, and the hypothesis property tests all
+draw scenarios from here, so "never hangs, never leaks" is proven over
+the whole space instead of hand-picked cases.
+"""
+
+from repro.scenarios.grammar import (
+    DIMENSIONS,
+    HANDOVERS,
+    LADDERS,
+    REMOTE_SIM,
+    ROAMING,
+    enumerate_grammar,
+    grammar_point,
+    point_name,
+    point_names,
+)
+from repro.scenarios.instantiate import (
+    GrammarHarness,
+    run_grammar_scenario,
+    signal_grade_cap,
+)
+from repro.scenarios.spec import (
+    RAT_ORDER,
+    RAT_RATES,
+    HandoverSpec,
+    RateLadderSpec,
+    RemoteSimSpec,
+    RoamingSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+)
+
+__all__ = [
+    "DIMENSIONS",
+    "GrammarHarness",
+    "HANDOVERS",
+    "HandoverSpec",
+    "LADDERS",
+    "RAT_ORDER",
+    "RAT_RATES",
+    "REMOTE_SIM",
+    "ROAMING",
+    "RateLadderSpec",
+    "RemoteSimSpec",
+    "RoamingSpec",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "enumerate_grammar",
+    "grammar_point",
+    "point_name",
+    "point_names",
+    "run_grammar_scenario",
+    "signal_grade_cap",
+]

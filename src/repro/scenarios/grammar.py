@@ -1,0 +1,131 @@
+"""The enumerable scenario grammar: four dimensions, every combination.
+
+A *grammar point* is named ``ladder/handover/roaming/sim`` — one value
+per dimension, slash-joined in that fixed order, e.g.
+``climb/fade/visit/tunnel``.  :func:`enumerate_grammar` yields the full
+cross product (every harness — chaos, sweep, fleet — draws from the
+same registry), :func:`grammar_point` resolves one name to a validated
+:class:`~repro.scenarios.spec.ScenarioSpec`, and the hypothesis
+strategy in ``tests/scenarios`` samples *arbitrary* valid specs beyond
+these named points.
+
+The catalogs are ordinary dicts in declaration order, so enumeration
+order — and therefore every digest derived from it — is frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    HandoverSpec,
+    RateLadderSpec,
+    RemoteSimSpec,
+    RoamingSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+)
+
+#: Rate-ladder dimension: which RATs the bearer spans and how the
+#: scenario walks them mid-call.
+LADDERS: Dict[str, RateLadderSpec] = {
+    # Single Release-99 bearer, no renegotiation: the paper's testbed.
+    "r99": RateLadderSpec(rats=("umts",)),
+    # Full GPRS→EDGE→UMTS→HSDPA climb: renegotiate one rung at a time.
+    "climb": RateLadderSpec(
+        rats=("gprs", "edge", "umts", "hsdpa"),
+        initial=0,
+        moves=((20.0, 1), (30.0, 2), (40.0, 3)),
+    ),
+    # Start fast, collapse to EDGE mid-call, then recover to HSDPA.
+    "collapse": RateLadderSpec(
+        rats=("edge", "umts", "hsdpa"),
+        initial=2,
+        moves=((25.0, 0), (45.0, 2)),
+    ),
+}
+
+#: Handover dimension: when the card changes cells and how strong the
+#: target cell's signal is (the harness renegotiates to match).
+HANDOVERS: Dict[str, HandoverSpec] = {
+    "none": HandoverSpec(),
+    # Hand over to a fringe cell (CSQ 7) and stay there.
+    "fade": HandoverSpec(events=((35.0, 7),)),
+    # Fade at 30 s, then recover onto a strong cell at 50 s.
+    "recover": HandoverSpec(events=((30.0, 6), (50.0, 24))),
+}
+
+#: Roaming dimension: home PLMN or a visited operator from the pool.
+ROAMING: Dict[str, RoamingSpec] = {
+    "home": RoamingSpec(visit=False),
+    "visit": RoamingSpec(visit=True),
+}
+
+#: Remote-SIM dimension: local SIM, or a MobileAtlas-style tunnel
+#: adding AT-line latency and losing the first line.
+REMOTE_SIM: Dict[str, RemoteSimSpec] = {
+    "local": RemoteSimSpec(),
+    "tunnel": RemoteSimSpec(tunnel=True, latency=0.35, loss_count=1),
+}
+
+#: The dimensions in point-name order.
+DIMENSIONS = ("ladder", "handover", "roaming", "sim")
+
+_CATALOGS = {
+    "ladder": LADDERS,
+    "handover": HANDOVERS,
+    "roaming": ROAMING,
+    "sim": REMOTE_SIM,
+}
+
+
+def point_name(ladder: str, handover: str, roaming: str, sim: str) -> str:
+    """The canonical ``ladder/handover/roaming/sim`` name."""
+    return f"{ladder}/{handover}/{roaming}/{sim}"
+
+
+def grammar_point(name: str) -> ScenarioSpec:
+    """Resolve one grammar point name to its validated spec.
+
+    Raises :class:`~repro.scenarios.spec.ScenarioSpecError` on unknown
+    names so fleet specs and CLI flags fail eagerly, before any
+    simulation runs.
+    """
+    parts = name.split("/")
+    if len(parts) != len(DIMENSIONS):
+        raise ScenarioSpecError(
+            f"grammar point {name!r} must be "
+            f"'{'/'.join(DIMENSIONS)}' (e.g. 'climb/fade/visit/tunnel')"
+        )
+    values = {}
+    for dimension, value in zip(DIMENSIONS, parts):
+        catalog = _CATALOGS[dimension]
+        if value not in catalog:
+            raise ScenarioSpecError(
+                f"unknown {dimension} value {value!r} in grammar point "
+                f"{name!r} (known: {', '.join(catalog)})"
+            )
+        values[dimension] = catalog[value]
+    return ScenarioSpec(
+        name=name,
+        ladder=values["ladder"],
+        handover=values["handover"],
+        roaming=values["roaming"],
+        remote_sim=values["sim"],
+    )
+
+
+def point_names() -> List[str]:
+    """Every grammar point name, enumeration order."""
+    return [
+        point_name(ladder, handover, roaming, sim)
+        for ladder in LADDERS
+        for handover in HANDOVERS
+        for roaming in ROAMING
+        for sim in REMOTE_SIM
+    ]
+
+
+def enumerate_grammar() -> List[ScenarioSpec]:
+    """The full cross product as validated specs, enumeration order."""
+    return [grammar_point(name) for name in point_names()]

@@ -1,0 +1,272 @@
+"""Instantiating a scenario spec over the OneLab testbed.
+
+:class:`GrammarHarness` turns one validated
+:class:`~repro.scenarios.spec.ScenarioSpec` into a live testbed: the
+ladder becomes the operator's :class:`~repro.umts.rab.RabConfig`, the
+roaming dimension builds a second operator and draws the visited
+network from an :class:`~repro.umts.pool.OperatorPool`, handover
+targets become extra cells on the serving operator, and the remote-SIM
+tunnel becomes a :class:`~repro.faults.plan.FaultPlan` at the serial
+layer.  :meth:`GrammarHarness.run` drives the same
+start/hold/status/stop contract as the chaos campaign and reuses its
+trace digest, so scenario digests and chaos digests mean the same
+thing; :meth:`GrammarHarness.arm` schedules only the mid-call events,
+for runners (the sweep) that drive their own workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.faults.chaos import (
+    DEGRADED,
+    DIRTY,
+    HUNG,
+    RECOVERED,
+    _Collector,
+    clean_state,
+    trace_digest,
+)
+from repro.faults.plan import FaultPlan
+from repro.obs.trace import TraceBus
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.process import spawn
+from repro.testbed.scenarios import OneLabScenario
+from repro.umts.operator import UmtsOperator, commercial_operator
+from repro.umts.pool import OperatorPool
+
+#: Gi-side addressing for the visited operator (the home GGSN uses
+#: 85.37.17.0/30; the visited one gets its own /30 on the router).
+VISITED_GGSN_ADDR = "85.37.19.2"
+VISITED_ROUTER_ADDR = "85.37.19.1"
+VISITED_POOL_PREFIX = "10.203.0.0/16"
+VISITED_GGSN_INTERNAL = "10.203.0.1"
+VISITED_OPERATOR_NAME = "FR Mobile (visited)"
+
+
+def signal_grade_cap(csq: int, grade_count: int) -> int:
+    """The highest ladder index a given signal strength supports.
+
+    Maps the ``AT+CSQ`` 0..31 scale onto ladder indices: roughly one
+    rung per 7 CSQ points above the noise floor, clamped to the ladder.
+    Deterministic and monotone in ``csq``, so signal-driven adaptation
+    preserves the QoS-monotone-with-ladder invariant.
+    """
+    return min(grade_count - 1, max(0, (csq - 2) // 7))
+
+
+class GrammarHarness:
+    """One scenario spec, instantiated and ready to run."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: Optional[int] = None,
+        metrics: Any = None,
+    ):
+        self.spec = spec
+        self.seed = spec.seed if seed is None else seed
+        ladder_config = spec.ladder.rab_config()
+
+        def factory(sim, streams):
+            return commercial_operator(sim, streams, rab_config=ladder_config)
+
+        self.testbed = OneLabScenario(seed=self.seed, operator_factory=factory)
+        sim = self.testbed.sim
+        self.bus = TraceBus(sim)
+        self.collector = _Collector()
+        self.bus.attach(self.collector)
+        sim.trace = self.bus
+        if metrics is not None:
+            sim.metrics = metrics
+
+        # Operator selection: the pool always knows home; the roaming
+        # dimension adds a visited operator serving the same APN and
+        # re-camps the card on its cell before anything dials.
+        home = self.testbed.operator
+        self.pool = OperatorPool()
+        self.pool.register(home, home=True)
+        self.roamed = False
+        if spec.roaming.visit:
+            visited = UmtsOperator(
+                sim,
+                self.testbed.streams,
+                name=VISITED_OPERATOR_NAME,
+                apn=home.apn,
+                pool_prefix=VISITED_POOL_PREFIX,
+                ggsn_internal=VISITED_GGSN_INTERNAL,
+                rab_config=ladder_config,
+                block_inbound=True,
+                ggsn_name="ggsn.visited",
+            )
+            visited.connect_to_internet(
+                self.testbed.internet.router, VISITED_GGSN_ADDR, VISITED_ROUTER_ADDR
+            )
+            visited.dns.add_record(
+                self.testbed.napoli.name, self.testbed.napoli_addr
+            )
+            visited.dns.add_record(
+                self.testbed.inria.name, self.testbed.inria_addr
+            )
+            self.pool.register(visited)
+            partner = self.pool.roaming_partner(apn=home.apn)
+            roam_cell = partner.new_cell(roaming=True)
+            self.testbed.napoli.modem.plug_into(roam_cell)
+            self.serving = partner
+            self.roamed = True
+        else:
+            self.serving = home
+
+        # Handover targets: one fresh cell per event, created up front
+        # so cell names (cell-1, cell-2, ...) are deterministic.
+        self._handover_cells = [
+            (at, csq, self.serving.new_cell(base_csq=csq, roaming=self.roamed))
+            for at, csq in spec.handover.events
+        ]
+
+        # The remote-SIM tunnel (and nothing else) as a fault plan.
+        self.plan = FaultPlan.from_spec(*spec.remote_sim.fault_specs())
+        self.registry = self.plan.install(
+            sim, rng=self.testbed.streams.stream("faults")
+        )
+
+        self.handovers = 0
+        self.moves_applied = 0
+        self.moves_missed = 0
+        self._armed = False
+
+    # -- mid-call event appliers ----------------------------------------
+
+    def arm(self) -> None:
+        """Schedule the spec's mid-call events (idempotent).
+
+        Ladder moves renegotiate the live bearer; handovers re-camp the
+        card and renegotiate to the grade the new signal supports.
+        Events that fire before any call is up are counted as missed,
+        not errors — a grammar point may put its first move inside the
+        dial window.
+        """
+        if self._armed:
+            return
+        self._armed = True
+        sim = self.testbed.sim
+        for at, target in self.spec.ladder.moves:
+            sim.schedule(max(0.0, at - sim.now), self._apply_move, target)
+        for at, csq, cell in self._handover_cells:
+            sim.schedule(max(0.0, at - sim.now), self._apply_handover, cell, csq)
+
+    def _live_rab(self):
+        calls = self.serving.calls
+        return calls[0].rab if calls else None
+
+    def _apply_move(self, target: int) -> None:
+        rab = self._live_rab()
+        if rab is None:
+            self.moves_missed += 1
+            return
+        rab.renegotiate(target)
+        self.moves_applied += 1
+
+    def _apply_handover(self, cell, csq: int) -> None:
+        self.testbed.napoli.modem.handover_to(cell)
+        self.handovers += 1
+        rab = self._live_rab()
+        if rab is not None:
+            rab.renegotiate(
+                signal_grade_cap(csq, len(self.spec.ladder.rats))
+            )
+
+    # -- the driver (same contract as the chaos campaign) ----------------
+
+    def run(self) -> Dict[str, Any]:
+        """Drive start/hold/status/stop to completion and report."""
+        self.arm()
+        testbed = self.testbed
+        sim = testbed.sim
+        spec = self.spec
+        umts = testbed.umts_command()
+        state: Dict[str, Any] = {
+            "start": None,
+            "status": None,
+            "stop": None,
+            "finished": False,
+        }
+
+        def driver():
+            state["start"] = yield umts.start()
+            yield spec.hold
+            state["status"] = yield umts.status()
+            if testbed.napoli.connection.is_up:
+                state["stop"] = yield umts.stop()
+            state["finished"] = True
+
+        spawn(sim, driver(), name=f"scenario:{spec.name}")
+        sim.run(until=spec.deadline)
+
+        hung = not state["finished"]
+        clean = not hung and clean_state(testbed)
+        start = state["start"]
+        status = state["status"]
+        stop = state["stop"]
+        start_ok = start is not None and start.code == 0
+        status_up = (
+            status is not None
+            and bool(status.lines)
+            and status.lines[0] == "state: up"
+        )
+        stop_ok = stop is not None and stop.code == 0
+        if hung:
+            outcome = HUNG
+        elif start_ok and status_up and stop_ok and clean:
+            outcome = RECOVERED
+        elif clean:
+            outcome = DEGRADED
+        else:
+            outcome = DIRTY
+        events = self.collector.events
+        rab_rates: List[float] = [
+            event.fields["rate"]
+            for event in events
+            if event.name == "rab.grade" and event.fields
+        ]
+        renegotiations = sum(
+            1 for event in events if event.name == "rab.renegotiate"
+        )
+        renegotiations_failed = sum(
+            1 for event in events if event.name == "rab.renegotiation_failed"
+        )
+        return {
+            "scenario": spec.name,
+            "seed": self.seed,
+            "outcome": outcome,
+            # The grammar-wide contract: never hang, never leak.  A
+            # degraded-but-clean run is a legal grammar point.
+            "ok": not hung and clean,
+            "hung": hung,
+            "clean": clean,
+            "start_code": None if start is None else start.code,
+            "status_lines": None if status is None else list(status.lines),
+            "stop_code": None if stop is None else stop.code,
+            "roamed": self.roamed,
+            "operator": self.serving.name,
+            "handovers": self.handovers,
+            "moves_applied": self.moves_applied,
+            "moves_missed": self.moves_missed,
+            "renegotiations": renegotiations,
+            "renegotiations_failed": renegotiations_failed,
+            "rab_rates": rab_rates,
+            "ladder_rates": list(spec.ladder.rates),
+            "fired": dict(self.registry.fired),
+            "events": len(events),
+            "sim_time": round(sim.now, 6),
+            "digest": trace_digest(events),
+        }
+
+
+def run_grammar_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    metrics: Any = None,
+) -> Dict[str, Any]:
+    """Instantiate and run one grammar point; returns the report."""
+    return GrammarHarness(spec, seed=seed, metrics=metrics).run()

@@ -9,6 +9,7 @@ from repro.modem.device import RegistrationStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.umts.operator import UmtsOperator
+    from repro.umts.rab import RabConfig
 
 
 class UmtsCell:
@@ -29,6 +30,7 @@ class UmtsCell:
         search_time_max: float = 8.0,
         roaming: bool = False,
         deny_registration: bool = False,
+        rab_config: Optional["RabConfig"] = None,
     ):
         self.operator = operator
         self.name = name
@@ -38,6 +40,10 @@ class UmtsCell:
         self.search_time_max = search_time_max
         self.roaming = roaming
         self.deny_registration = deny_registration
+        #: Per-cell bearer parameters; ``None`` inherits the operator's.
+        #: The scenario grammar uses this to model RAT capability per
+        #: cell (a GPRS-only cell next to an HSDPA cell).
+        self.rab_config = rab_config
         self.attached_modems = 0
 
     @property
@@ -57,6 +63,11 @@ class UmtsCell:
         if self.roaming:
             return RegistrationStatus.REGISTERED_ROAMING
         return RegistrationStatus.REGISTERED_HOME
+
+    def detach(self, modem) -> None:
+        """The modem left this cell (handover or shutdown)."""
+        if self.attached_modems > 0:
+            self.attached_modems -= 1
 
     def signal_quality(self, rng: _random.Random) -> int:
         """``AT+CSQ`` RSSI indicator, 0..31."""

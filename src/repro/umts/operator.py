@@ -66,6 +66,7 @@ class UmtsOperator:
         block_inbound: bool = True,
         max_sessions: int = 64,
         dns_zone: Optional[dict] = None,
+        ggsn_name: Optional[str] = None,
     ):
         self.sim = sim
         self.streams = streams
@@ -84,9 +85,12 @@ class UmtsOperator:
             queue_bytes=200_000,
         )
         self.max_sessions = max_sessions
+        # ggsn_name must be unique per Internet router: the Gi peer
+        # interface is derived from it, so two operators serving the
+        # same APN (home + roaming partner) need distinct names.
         self.ggsn = Ggsn(
             sim,
-            f"ggsn.{apn}",
+            ggsn_name if ggsn_name is not None else f"ggsn.{apn}",
             pool_prefix,
             ggsn_internal,
             block_inbound=block_inbound,
@@ -159,12 +163,18 @@ class UmtsOperator:
                 raise UmtsError("PDP context activation refused by network")
         address = self.ggsn.pool.allocate()
         session = next(self._session_ids)
+        # The serving cell may cap or extend the bearer ladder (a
+        # GPRS-only cell next to an HSDPA one); otherwise the
+        # operator-wide config applies.
+        rab_config = self.rab_config
+        if cell is not None and getattr(cell, "rab_config", None) is not None:
+            rab_config = cell.rab_config
         rng_up = self.streams.stream(f"{self.name}.uplink.{session}")
         rng_down = self.streams.stream(f"{self.name}.downlink.{session}")
         uplink = Channel(
             self.sim,
             lambda frame: None,  # rebound by DataCall
-            rate_bps=self.rab_config.grades[self.rab_config.initial_grade_index],
+            rate_bps=rab_config.grades[rab_config.initial_grade_index],
             delay=self.uplink_profile.base_delay,
             queue_bytes=self.uplink_profile.queue_bytes,
             loss_rate=self.uplink_profile.loss_rate,
@@ -185,7 +195,7 @@ class UmtsOperator:
             name=f"{self.name}:dl:{session}",
             length_of=lambda frame: frame.wire_length,
         )
-        rab = RabController(self.sim, uplink, self.rab_config)
+        rab = RabController(self.sim, uplink, rab_config)
         call = DataCall(self.sim, uplink, downlink, rab, self, address)
         server = Pppd(
             self.sim,

@@ -14,6 +14,16 @@ observed sustained demand and upgraded the bearer.
 the next grade, which takes effect ``grant_delay`` seconds later.  An
 idle bearer is downgraded back to the initial grade.  Disabling
 ``adaptation_enabled`` freezes the initial grade (the ablation bench).
+
+Beyond the demand loop, :meth:`RabController.renegotiate` models an
+explicit mid-call RAB renegotiation (3GPP "RAB modify"): the scenario
+grammar drives it for RAT ladder climbs (GPRS→EDGE→UMTS→HSDPA) and for
+signal-strength-driven adaptation after a handover.  A renegotiation is
+a two-phase request/grant exchange, and it has a *defined failure
+path*: preemption (or bearer release) while the grant is outstanding
+aborts the renegotiation — the bearer settles at the preempted grade
+and the abort is counted in ``renegotiations_failed`` — instead of
+silently keeping the old rate with a stale grant in flight.
 """
 
 from __future__ import annotations
@@ -26,6 +36,10 @@ from repro.sim.monitor import TimeSeries
 
 #: Release-99 style uplink grades in bit/s.
 DEFAULT_UPLINK_GRADES = [64_000.0, 144_000.0, 384_000.0]
+
+#: Renegotiation states (:attr:`RabController.renegotiation`).
+RENEG_IDLE = "idle"
+RENEG_PENDING = "pending"
 
 
 class RabConfig:
@@ -96,6 +110,11 @@ class RabController:
         self._sustained = 0.0
         self._idle = 0.0
         self._pending_grant = None
+        self._pending_reneg = None
+        self._reneg_target: Optional[int] = None
+        self.renegotiation = RENEG_IDLE
+        self.renegotiations = 0
+        self.renegotiations_failed = 0
         self.upgrades = 0
         self.downgrades = 0
         #: (time, rate) series of every grade change, for the benches.
@@ -120,6 +139,10 @@ class RabController:
         if self._pending_grant is not None:
             self._pending_grant.cancel()
             self._pending_grant = None
+        if self._pending_reneg is not None:
+            # Bearer released with a renegotiation grant outstanding:
+            # the request can never be honoured, so it fails cleanly.
+            self._abort_renegotiation("released")
 
     def _evaluate(self) -> None:
         self._timer = None
@@ -134,6 +157,7 @@ class RabController:
                 self._sustained >= config.sustain_time
                 and self.grade_index < len(config.grades) - 1
                 and self._pending_grant is None
+                and self._pending_reneg is None
             ):
                 self._pending_grant = self.sim.schedule(
                     config.grant_delay, self._apply_upgrade
@@ -169,19 +193,109 @@ class RabController:
         self._idle = 0.0
         self.grade_history.add(self.sim.now, self.current_rate)
 
+    # -- explicit renegotiation (the scenario grammar's RAB-modify path) --
+
+    def renegotiate(self, target_index: int) -> bool:
+        """Request a mid-call renegotiation to an explicit grade.
+
+        Models the RNC accepting a RAB-modify request: the new grade
+        takes effect ``grant_delay`` seconds later (the request/grant
+        exchange), superseding any demand-driven upgrade grant and any
+        earlier renegotiation still in flight.  Returns ``True`` when
+        the request was accepted, ``False`` when the bearer is already
+        released (a late request against a dead bearer is not an
+        error — the scenario driver may race a teardown).
+        """
+        if not 0 <= target_index < len(self.config.grades):
+            raise ValueError(
+                f"target grade index {target_index} outside "
+                f"0..{len(self.config.grades) - 1}"
+            )
+        if self._stopped:
+            self.renegotiations_failed += 1
+            return False
+        if self._pending_grant is not None:
+            # The explicit request supersedes the demand loop's grant.
+            self._pending_grant.cancel()
+            self._pending_grant = None
+        if self._pending_reneg is not None:
+            self._pending_reneg.cancel()
+            self._pending_reneg = None
+        self._reneg_target = target_index
+        self.renegotiation = RENEG_PENDING
+        self._pending_reneg = self.sim.schedule(
+            self.config.grant_delay, self._apply_renegotiation
+        )
+        self._emit(
+            "rab.renegotiate",
+            target_rate=self.config.grades[target_index],
+            from_rate=self.current_rate,
+        )
+        return True
+
+    def _apply_renegotiation(self) -> None:
+        self._pending_reneg = None
+        target, self._reneg_target = self._reneg_target, None
+        self.renegotiation = RENEG_IDLE
+        if self._stopped or target is None:
+            return
+        if target != self.grade_index:
+            if target > self.grade_index:
+                self.upgrades += 1
+            else:
+                self.downgrades += 1
+            self.grade_index = target
+            self.channel.rate_bps = self.current_rate
+            self.grade_history.add(self.sim.now, self.current_rate)
+        self.renegotiations += 1
+        self._sustained = 0.0
+        self._idle = 0.0
+        self._emit("rab.grade", rate=self.current_rate, cause="renegotiation")
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("umts.rab.renegotiations").inc()
+
+    def _abort_renegotiation(self, cause: str) -> None:
+        """The defined failure path: an in-flight renegotiation dies.
+
+        The pending grant is revoked, the target is forgotten, and the
+        bearer settles at whatever grade the aborting event (preemption
+        or release) decides — never the stale pre-renegotiation state.
+        """
+        if self._pending_reneg is not None:
+            self._pending_reneg.cancel()
+            self._pending_reneg = None
+        self._reneg_target = None
+        self.renegotiation = RENEG_IDLE
+        self.renegotiations_failed += 1
+        self._emit("rab.renegotiation_failed", cause=cause)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("umts.rab.renegotiations_failed").inc()
+
+    def _emit(self, kind: str, **fields) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(kind, channel=self.channel.name, **fields)
+
     def preempt(self) -> None:
         """RNC-initiated preemption: drop to the *lowest* grade.
 
         Models higher-priority traffic (voice) claiming the cell's
         dedicated-channel budget.  Any pending upgrade grant is revoked
         and demand accounting restarts from scratch; the adaptation
-        loop may climb back up later if the load persists.
+        loop may climb back up later if the load persists.  A
+        renegotiation caught mid-grant is aborted through the failure
+        path: the bearer settles at the lowest grade, not the stale
+        pre-renegotiation rate.
         """
         if self._stopped:
             return
         if self._pending_grant is not None:
             self._pending_grant.cancel()
             self._pending_grant = None
+        if self._pending_reneg is not None:
+            self._abort_renegotiation("preempted")
         self.grade_index = 0
         self.channel.rate_bps = self.current_rate
         self.downgrades += 1

@@ -1,0 +1,29 @@
+"""Hypothesis profiles for the scenario-grammar property tests.
+
+Every example instantiates and runs a whole testbed simulation, so the
+default 200 ms deadline and example counts are wrong for this package:
+
+- ``scenarios-dev`` (default): a quick derandomized pass that keeps the
+  tier-1 suite fast and reproducible;
+- ``scenarios-ci``: the CI gate — 200 derandomized examples across the
+  whole grammar space (the issue's acceptance bar), with the example
+  database cached between runs.
+
+Select with ``HYPOTHESIS_PROFILE=scenarios-ci``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    print_blob=True,
+)
+
+settings.register_profile("scenarios-dev", max_examples=20, **_COMMON)
+settings.register_profile("scenarios-ci", max_examples=200, **_COMMON)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "scenarios-dev"))

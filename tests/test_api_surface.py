@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.obs",
     "repro.ppp",
     "repro.routing",
+    "repro.scenarios",
     "repro.sim",
     "repro.testbed",
     "repro.traffic",

@@ -5,7 +5,13 @@ import pytest
 from repro.net.link import Channel
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
-from repro.umts.rab import DEFAULT_UPLINK_GRADES, RabConfig, RabController
+from repro.umts.rab import (
+    DEFAULT_UPLINK_GRADES,
+    RENEG_IDLE,
+    RENEG_PENDING,
+    RabConfig,
+    RabController,
+)
 
 
 def make_channel(sim, rate=144000.0, queue_bytes=50000):
@@ -132,3 +138,118 @@ def test_upgrade_stops_at_top_grade():
     sim.run(until=300.0)
     assert controller.current_rate == 384000.0
     assert controller.upgrades == 1  # 144k -> 384k, nothing above
+
+
+# -- explicit renegotiation (the scenario grammar's RAB-modify path) -------
+
+
+def ladder_controller(sim):
+    """A 3-grade ladder with adaptation off: only renegotiation moves it."""
+    channel = make_channel(sim)
+    config = RabConfig(
+        grades=[64000.0, 144000.0, 384000.0],
+        initial_grade_index=0,
+        adaptation_enabled=False,
+        grant_delay=4.0,
+    )
+    return RabController(sim, channel, config), channel
+
+
+def test_renegotiate_applies_after_grant_delay():
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    assert controller.renegotiate(2) is True
+    assert controller.renegotiation == RENEG_PENDING
+    sim.run(until=2.0)
+    assert channel.rate_bps == 64000.0  # grant still in flight
+    sim.run(until=5.0)
+    assert controller.renegotiation == RENEG_IDLE
+    assert channel.rate_bps == 384000.0
+    assert controller.renegotiations == 1
+    assert controller.upgrades == 1
+    assert controller.renegotiations_failed == 0
+
+
+def test_renegotiate_down_counts_a_downgrade():
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    controller.renegotiate(2)
+    sim.run(until=5.0)
+    controller.renegotiate(0)
+    sim.run(until=10.0)
+    assert channel.rate_bps == 64000.0
+    assert controller.downgrades == 1
+    assert controller.renegotiations == 2
+
+
+def test_renegotiate_supersedes_earlier_renegotiation():
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    controller.renegotiate(2)
+    sim.run(until=1.0)
+    controller.renegotiate(1)  # re-decide while the grant is in flight
+    sim.run(until=10.0)
+    # Only the second request lands; the first grant was cancelled.
+    assert channel.rate_bps == 144000.0
+    assert controller.renegotiations == 1
+
+
+def test_renegotiate_rejects_bad_target():
+    sim = Simulator()
+    controller, _ = ladder_controller(sim)
+    with pytest.raises(ValueError):
+        controller.renegotiate(3)
+    with pytest.raises(ValueError):
+        controller.renegotiate(-1)
+
+
+def test_renegotiate_against_released_bearer_fails_softly():
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    controller.stop()
+    assert controller.renegotiate(2) is False
+    assert controller.renegotiations_failed == 1
+    assert channel.rate_bps == 64000.0
+
+
+def test_preempt_mid_renegotiation_settles_at_lowest_grade():
+    # The satellite fix: a RAB preempted while a renegotiation grant is
+    # outstanding must settle to a *defined* state — the preempted
+    # (lowest) grade — with the stale grant revoked, not applied later.
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    controller.renegotiate(2)
+    sim.run(until=1.0)
+    controller.preempt()
+    assert controller.renegotiation == RENEG_IDLE
+    assert controller.renegotiations_failed == 1
+    sim.run(until=20.0)  # past the cancelled grant's landing time
+    assert channel.rate_bps == 64000.0
+    assert controller.renegotiations == 0  # the aborted one never counted
+
+
+def test_stop_mid_renegotiation_aborts_cleanly():
+    sim = Simulator()
+    controller, channel = ladder_controller(sim)
+    controller.renegotiate(2)
+    sim.run(until=1.0)
+    controller.stop()
+    assert controller.renegotiation == RENEG_IDLE
+    assert controller.renegotiations_failed == 1
+    sim.run(until=20.0)
+    assert channel.rate_bps == 64000.0
+
+
+def test_demand_upgrade_defers_to_pending_renegotiation():
+    sim = Simulator()
+    channel = make_channel(sim)
+    config = RabConfig(sustain_time=4.0, grant_delay=30.0)
+    controller = RabController(sim, channel, config)
+    saturate(sim, channel, duration=60.0)
+    sim.run(until=2.0)
+    controller.renegotiate(0)  # long grant window overlapping demand
+    sim.run(until=20.0)
+    # The demand loop saw sustained backlog but must not race the
+    # explicit renegotiation with its own grant.
+    assert controller.renegotiation == RENEG_PENDING
+    assert controller.upgrades == 0

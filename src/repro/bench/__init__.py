@@ -27,8 +27,11 @@ optimizations the benches measure never changed simulated results.
 from __future__ import annotations
 
 from repro.bench.baseline import (
+    FLEET_SCENARIOS,
+    FLEET_SPEEDUP_TARGET,
     SCHEMA_VERSION,
     baseline_path,
+    fleet_summary_payload,
     load_baseline,
     machine_metadata,
     result_payload,
@@ -50,6 +53,8 @@ __all__ = [
     "BENCH_SEED",
     "BenchResult",
     "Comparison",
+    "FLEET_SCENARIOS",
+    "FLEET_SPEEDUP_TARGET",
     "REGISTRY",
     "SCHEMA_VERSION",
     "Scenario",
@@ -58,6 +63,7 @@ __all__ = [
     "characterization_digest",
     "characterization_pair",
     "compare_result",
+    "fleet_summary_payload",
     "load_baseline",
     "machine_metadata",
     "result_payload",

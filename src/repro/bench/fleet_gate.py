@@ -1,0 +1,111 @@
+"""The CI fleet gate: events/sec regression check plus delta artifact.
+
+``repro bench --check`` already gates every scenario's median against
+its committed baseline.  This module adds the fleet-specific CI step:
+compare a fresh ``BENCH_fleet.json`` (written by ``repro bench
+--output-dir``) against the committed one, write a
+``BENCH_fleet_delta.json`` document next to the fresh results (uploaded
+with the bench artifact), and exit non-zero when the 256-node group's
+events/sec throughput regressed beyond the scenario tolerance.
+
+Run as ``python -m repro.bench.fleet_gate --fresh bench-fresh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.bench.baseline import FLEET_SCENARIOS, baseline_path, load_baseline
+
+
+def fleet_delta(
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    tolerance_scale: float = 1.0,
+) -> Dict[str, Any]:
+    """Per-scenario throughput deltas between two fleet gate documents.
+
+    A scenario regresses when its fresh median exceeds the committed
+    one by more than its (scaled) tolerance — the same criterion the
+    generic comparator applies, restated in rate terms so the artifact
+    reads as events/sec and datacalls/sec.
+    """
+    if tolerance_scale <= 0:
+        raise ValueError(f"tolerance scale must be positive, got {tolerance_scale!r}")
+    deltas: Dict[str, Any] = {}
+    for name in FLEET_SCENARIOS:
+        base = committed["scenarios"][name]
+        new = fresh["scenarios"][name]
+        tolerance = base["tolerance"] * tolerance_scale
+        median_ratio = new["median_s"] / base["median_s"]
+        deltas[name] = {
+            "unit": base.get("unit"),
+            "committed_rate_per_s": base.get("rate_per_s"),
+            "fresh_rate_per_s": new.get("rate_per_s"),
+            "committed_median_s": base["median_s"],
+            "fresh_median_s": new["median_s"],
+            "median_ratio": median_ratio,
+            "tolerance": tolerance,
+            "regressed": median_ratio > 1.0 + tolerance,
+        }
+    return {
+        "schema": 1,
+        "scenario": "fleet_delta",
+        "description": "fresh fleet throughput vs the committed BENCH_fleet.json",
+        "deltas": deltas,
+        "fresh_gate": fresh.get("gate"),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.fleet_gate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="DIR",
+        help="directory holding the freshly measured BENCH_fleet.json",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the committed baselines (default: cwd)",
+    )
+    parser.add_argument(
+        "--tolerance-scale", type=float, default=1.0, metavar="X",
+        help="multiply each scenario's tolerance by X (CI uses 3.0)",
+    )
+    args = parser.parse_args(argv)
+    committed = load_baseline(baseline_path("fleet", args.root))
+    fresh = load_baseline(baseline_path("fleet", args.fresh))
+    if committed is None or fresh is None:
+        missing = args.root if committed is None else args.fresh
+        print(f"fleet gate: no BENCH_fleet.json under {missing}", file=sys.stderr)
+        return 2
+    delta = fleet_delta(committed, fresh, tolerance_scale=args.tolerance_scale)
+    out = Path(args.fresh) / "BENCH_fleet_delta.json"
+    out.write_text(json.dumps(delta, indent=2) + "\n")
+    failures = 0
+    for name, entry in delta["deltas"].items():
+        unit = entry["unit"] or "iterations"
+        verdict = "REGRESS" if entry["regressed"] else "ok"
+        rate = entry["fresh_rate_per_s"]
+        base_rate = entry["committed_rate_per_s"]
+        rate_note = (
+            f"{rate:,.0f} {unit}/s vs committed {base_rate:,.0f}"
+            if rate is not None and base_rate is not None
+            else f"median x{entry['median_ratio']:.2f}"
+        )
+        print(f"{verdict:<8} {name:<18} {rate_note}  "
+              f"(median x{entry['median_ratio']:.2f}, "
+              f"tolerance +{entry['tolerance']:.0%})")
+        if entry["regressed"]:
+            failures += 1
+    print(f"fleet gate: wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

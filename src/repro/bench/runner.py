@@ -34,6 +34,10 @@ class Scenario:
     by ``--tolerance-scale``).  ``reference_median_s`` optionally pins
     the median measured on the code *before* the optimization pass this
     subsystem shipped with, so baselines record the achieved speedup.
+    ``units`` optionally names what one iteration processes — a
+    ``(unit, count)`` pair such as ``("events", 134400)`` — so reports
+    and baselines can state throughput (count/median) alongside wall
+    time.
     """
 
     def __init__(
@@ -45,6 +49,7 @@ class Scenario:
         warmup: int = 1,
         tolerance: float = 0.35,
         reference_median_s: Optional[float] = None,
+        units: Optional[Tuple[str, int]] = None,
     ):
         self.name = name
         self.description = description
@@ -53,6 +58,13 @@ class Scenario:
         self.warmup = warmup
         self.tolerance = tolerance
         self.reference_median_s = reference_median_s
+        self.units = units
+
+    def rate_per_s(self, median_s: float) -> Optional[float]:
+        """Units processed per wall second at ``median_s``, if unitful."""
+        if self.units is None or median_s <= 0:
+            return None
+        return self.units[1] / median_s
 
     def run_once(self) -> float:
         """One timed iteration; returns wall seconds."""

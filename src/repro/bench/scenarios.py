@@ -1,11 +1,21 @@
 """The scenario registry: what ``repro bench`` knows how to measure.
 
-Five hot paths, mirroring where the reproduction actually spends its
+Nine hot paths, mirroring where the reproduction actually spends its
 time (ISSUE: every packet of the §3.1 experiments is a handful of
 engine events plus a PPP codec pass):
 
 - ``engine`` — schedule-and-drain throughput of the
-  discrete-event core;
+  discrete-event core over distinct timestamps;
+- ``engine_cancel`` — timer-churn: most scheduled events are cancelled
+  before they fire (the DNS/dial/retransmit timer pattern);
+- ``engine_burst`` — heavy same-timestamp contention: many events
+  share few distinct instants (TTI-aligned radio bursts);
+- ``fleet_events`` — the shared-kernel scenario: one simulator
+  interleaving a whole fleet group of staggered VoIP/CBR datacall
+  event chains with TTI-aligned deliveries and per-packet ack timers;
+- ``fleet_datacalls`` — a real 16-node :mod:`repro.fleet` group
+  (modem/vsys/PPP stacks, controller arbitration, D-ITG flows) run to
+  quiescence, measuring completed datacalls per wall second;
 - ``hdlc_encode`` / ``hdlc_decode`` — the RFC 1662 byte codec over
   MTU-sized random payloads;
 - ``voip_characterization`` / ``cbr_characterization`` — the full
@@ -14,17 +24,19 @@ engine events plus a PPP codec pass):
   pair on a dialed-up node.
 
 ``reference_median_s`` values were measured on this machine on the
-code as of commit 58e56cb (the state *before* the optimization pass
-that shipped with this subsystem), so every baseline file records the
-achieved speedup.  The characterization helpers here are also what
-``benchmarks/conftest.py`` uses for its session fixtures — pytest
-benches and ``repro bench`` run the exact same code.
+code as of commit 58e56cb for the PR-2 scenarios (the state *before*
+the tuple-heap fast path) and on commit 1c63ce2 for the kernel
+scenarios (the tuple-heap engine *before* the shared-kernel rewrite),
+so every baseline file records the achieved speedup.  The
+characterization helpers here are also what ``benchmarks/conftest.py``
+uses for its session fixtures — pytest benches and ``repro bench`` run
+the exact same code.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.bench.runner import Scenario, time_once
 from repro.ppp.hdlc import hdlc_decode, hdlc_encode
@@ -35,6 +47,53 @@ BENCH_DURATION = 120.0
 
 #: Events per engine-microbench iteration.
 ENGINE_EVENTS = 50_000
+
+#: Events per cancellation-heavy iteration (80% are cancelled).
+CANCEL_EVENTS = 50_000
+
+#: Events / distinct timestamps per same-timestamp-burst iteration.
+BURST_EVENTS = 50_000
+BURST_SLOTS = 100
+
+#: The shared-kernel fleet scenario: one simulator interleaving a whole
+#: group's datacall timelines.  Half the nodes replay the paper's VoIP
+#: cadence (20 ms G.711 frames), half the 1 Mbit/s CBR cadence (8 ms);
+#: each node's packet-arrival trace is pre-scheduled the way the
+#: traffic decoder replays a characterized flow, with starts staggered
+#: across uplink access slots.  Each packet dispatch posts a radio
+#: delivery snapped to the group-wide 10 ms TTI boundary (the
+#: same-timestamp batches a cellular kernel dispatches) and arms a
+#: retransmit timer the delivery cancels (the timer-churn pattern).
+#: As in a real UMTS MAC, *all* timestamps are integer frame counters
+#: times the grid tick, so equal instants are equal floats across
+#: every node and coalesce into shared kernel batches.
+FLEET_BENCH_NODES = 256
+FLEET_BENCH_DURATION = 2.0
+FLEET_BENCH_GRID = 1e-4  # 0.1 ms scheduling-grant grid tick
+FLEET_BENCH_RASTER = 10  # 1 ms uplink access-slot raster, in grid frames
+FLEET_BENCH_TTI_FRAMES = 100  # 10 ms TTI, in grid frames
+FLEET_BENCH_RETX_FRAMES = 2500  # 0.25 s retransmit guard, in grid frames
+FLEET_BENCH_VOIP_FRAMES = 200  # 20 ms VoIP cadence, in grid frames
+FLEET_BENCH_CBR_FRAMES = 80  # 8 ms CBR cadence, in grid frames
+
+#: Packets per node per iteration, by workload kind.
+FLEET_BENCH_VOIP_PACKETS = int(
+    FLEET_BENCH_DURATION / (FLEET_BENCH_VOIP_FRAMES * FLEET_BENCH_GRID)
+)
+FLEET_BENCH_CBR_PACKETS = int(
+    FLEET_BENCH_DURATION / (FLEET_BENCH_CBR_FRAMES * FLEET_BENCH_GRID)
+)
+
+#: Scheduled events per ``fleet_events`` iteration: every packet is a
+#: packet event + a delivery event + a cancelled retransmit timer.
+FLEET_BENCH_EVENTS = FLEET_BENCH_NODES // 2 * 3 * (
+    FLEET_BENCH_VOIP_PACKETS + FLEET_BENCH_CBR_PACKETS
+)
+
+#: The real-stack datacall scenario: one 16-node fleet group.
+FLEET_BENCH_GROUP_NODES = 16
+#: Completed datacalls per iteration: 8 node-pairs x 2 slices.
+FLEET_BENCH_DATACALLS = 16
 
 #: HDLC corpus: MTU-sized uniformly random payloads (worst-case escape
 #: density ~13%), regenerated identically from a fixed seed.
@@ -62,6 +121,143 @@ def _engine_once() -> float:
     elapsed, _ = time_once(schedule_and_drain)
     if count[0] != ENGINE_EVENTS:
         raise RuntimeError(f"engine dropped events: {count[0]} != {ENGINE_EVENTS}")
+    return elapsed
+
+
+def _engine_cancel_once() -> float:
+    """Timer churn: 80% of scheduled events are cancelled before firing."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def bump() -> None:
+        count[0] += 1
+
+    def churn_and_drain() -> None:
+        handles = [
+            sim.schedule(1.0 + i * 1e-6, bump) for i in range(CANCEL_EVENTS)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 5 != 0:
+                handle.cancel()
+        sim.run()
+
+    elapsed, _ = time_once(churn_and_drain)
+    expected = (CANCEL_EVENTS + 4) // 5
+    if count[0] != expected:
+        raise RuntimeError(f"cancel bench fired {count[0]} != {expected}")
+    return elapsed
+
+
+def _engine_burst_once() -> float:
+    """Same-timestamp contention: many events on few distinct instants."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def bump() -> None:
+        count[0] += 1
+
+    def schedule_and_drain() -> None:
+        for i in range(BURST_EVENTS):
+            sim.schedule(1.0 + (i % BURST_SLOTS) * 0.01, bump)
+        sim.run()
+
+    elapsed, _ = time_once(schedule_and_drain)
+    if count[0] != BURST_EVENTS:
+        raise RuntimeError(f"burst bench fired {count[0]} != {BURST_EVENTS}")
+    return elapsed
+
+
+def _fleet_events_once(engine_factory: Any = None) -> float:
+    """One kernel interleaving a 256-node group's datacall timelines.
+
+    Every node replays its packet-arrival trace at its workload cadence
+    on the MAC's integer frame grid, pre-scheduled the way the traffic
+    decoder replays a characterized flow, with starts staggered across
+    1 ms uplink access slots.  Each packet dispatch posts a radio
+    delivery snapped to the group-wide 10 ms TTI boundary (so
+    deliveries from many nodes share exact timestamps — the
+    same-timestamp batches the kernel dispatches together) and arms a
+    retransmit timer that the delivery cancels, exercising the
+    cancellation path at fleet volume.
+
+    ``engine_factory`` lets the pre-PR reference run and the old-vs-new
+    equivalence tests drive the identical scenario through the legacy
+    tuple-heap engine: fire-and-forget sites use ``post_at`` when the
+    engine offers it and otherwise fall back to ``schedule_at`` with
+    the handle discarded — exactly what pre-kernel call sites did.
+    """
+    if engine_factory is None:
+        from repro.sim.engine import Simulator as engine_factory  # noqa: N813
+
+    sim = engine_factory()
+    post_at = getattr(sim, "post_at", None) or sim.schedule_at
+    schedule_at = sim.schedule_at
+    grid = FLEET_BENCH_GRID
+    tti = FLEET_BENCH_TTI_FRAMES
+    retx = FLEET_BENCH_RETX_FRAMES
+    sent = [0]
+    delivered = [0]
+
+    def _retransmit() -> None:
+        raise RuntimeError("fleet bench: a retransmit timer escaped its cancel")
+
+    def deliver(timer: Any) -> None:
+        timer.cancel()
+        delivered[0] += 1
+
+    def send(frame: int) -> None:
+        sent[0] += 1
+        tti_frame = frame - frame % tti + tti  # next TTI boundary
+        timer = schedule_at((tti_frame + retx) * grid, _retransmit)
+        post_at(tti_frame * grid, deliver, timer)
+
+    def build_and_drain() -> None:
+        for i in range(FLEET_BENCH_NODES):
+            if i % 2 == 0:
+                period, packets = FLEET_BENCH_VOIP_FRAMES, FLEET_BENCH_VOIP_PACKETS
+            else:
+                period, packets = FLEET_BENCH_CBR_FRAMES, FLEET_BENCH_CBR_PACKETS
+            start = i * FLEET_BENCH_RASTER
+            for frame in range(start, start + packets * period, period):
+                post_at(frame * grid, send, frame)
+        sim.run()
+
+    elapsed, _ = time_once(build_and_drain)
+    expected = FLEET_BENCH_EVENTS // 3
+    if sent[0] != expected or delivered[0] != expected:
+        raise RuntimeError(
+            f"fleet bench dropped packets: sent {sent[0]}, "
+            f"delivered {delivered[0]}, expected {expected}"
+        )
+    return elapsed
+
+
+def _fleet_datacalls_once() -> float:
+    """A real 16-node fleet group run to quiescence (full stacks)."""
+    from repro.fleet.campaign import run_group
+    from repro.fleet.spec import FleetSpec
+
+    spec = FleetSpec(
+        nodes=FLEET_BENCH_GROUP_NODES,
+        group_size=FLEET_BENCH_GROUP_NODES,
+        duration=1.0,
+        stagger=4.0,
+        drain=1.0,
+        seed=BENCH_SEED,
+    )
+    elapsed, report = time_once(lambda: run_group(spec, 0))
+    completed = sum(
+        1 for record in report["experiments"] if record["outcome"] == "completed"
+    )
+    if completed != FLEET_BENCH_DATACALLS or not report["clean"]:
+        raise RuntimeError(
+            f"fleet datacall bench: {completed}/{FLEET_BENCH_DATACALLS} "
+            f"completed, clean={report['clean']}"
+        )
     return elapsed
 
 
@@ -130,9 +326,19 @@ def _vsys_rpc_once() -> float:
 
 
 #: Pre-optimization medians (seconds) measured on the reference machine
-#: at commit 58e56cb; ``None`` means no pre-PR measurement exists.
+#: — at commit 58e56cb for the PR-2 scenarios, at commit 1c63ce2 (the
+#: tuple-heap engine, before the shared-kernel rewrite) for the kernel
+#: scenarios; ``None`` means no pre-PR measurement exists.  The
+#: ``fleet_events`` reference drives the *identical* scenario through
+#: the preserved legacy engine (``tests/sim/legacy_engine.py``) via
+#: the ``engine_factory`` parameter, so the kernel speedup is
+#: apples-to-apples on the same workload.
 PRE_PR_MEDIANS = {
     "engine": 0.16794382800026142,
+    "engine_cancel": 0.08550841599935666,
+    "engine_burst": 0.10733355400043365,
+    "fleet_events": 0.2646506060009415,
+    "fleet_datacalls": 0.34039395800027705,
     "hdlc_encode": 0.020126201000039146,
     "hdlc_decode": 0.02009486899987678,
     "voip_characterization": 3.120827836999979,
@@ -152,6 +358,48 @@ def build_registry() -> Dict[str, Scenario]:
             warmup=1,
             tolerance=0.35,
             reference_median_s=PRE_PR_MEDIANS["engine"],
+        ),
+        Scenario(
+            "engine_cancel",
+            f"schedule {CANCEL_EVENTS} events, cancel 80%, drain the rest",
+            _engine_cancel_once,
+            repeats=5,
+            warmup=1,
+            tolerance=0.35,
+            reference_median_s=PRE_PR_MEDIANS["engine_cancel"],
+            units=("events", CANCEL_EVENTS),
+        ),
+        Scenario(
+            "engine_burst",
+            f"drain {BURST_EVENTS} events sharing {BURST_SLOTS} timestamps",
+            _engine_burst_once,
+            repeats=5,
+            warmup=1,
+            tolerance=0.35,
+            reference_median_s=PRE_PR_MEDIANS["engine_burst"],
+            units=("events", BURST_EVENTS),
+        ),
+        Scenario(
+            "fleet_events",
+            f"one kernel, {FLEET_BENCH_NODES}-node group: staggered VoIP/CBR "
+            f"chains, TTI-batched deliveries, cancelled ack timers",
+            _fleet_events_once,
+            repeats=5,
+            warmup=1,
+            tolerance=0.35,
+            reference_median_s=PRE_PR_MEDIANS["fleet_events"],
+            units=("events", FLEET_BENCH_EVENTS),
+        ),
+        Scenario(
+            "fleet_datacalls",
+            f"one real {FLEET_BENCH_GROUP_NODES}-node fleet group "
+            f"({FLEET_BENCH_DATACALLS} datacalls) run to quiescence",
+            _fleet_datacalls_once,
+            repeats=3,
+            warmup=1,
+            tolerance=0.5,
+            reference_median_s=PRE_PR_MEDIANS["fleet_datacalls"],
+            units=("datacalls", FLEET_BENCH_DATACALLS),
         ),
         Scenario(
             "hdlc_encode",

@@ -202,7 +202,7 @@ class FaultPlan:
         sim.faults = registry
         for spec in self.specs:
             if spec.triggered:
-                sim.schedule(max(0.0, spec.at - sim.now), registry._activate, spec)
+                sim.post(max(0.0, spec.at - sim.now), registry._activate, spec)
         return registry
 
     def __len__(self) -> int:

@@ -87,7 +87,7 @@ class FaultRegistry:
         handlers.append(handler)
         pending = [spec for spec in self._pending if spec.point == point]
         for spec in pending:
-            self.sim.schedule(0.0, self._deliver, spec)
+            self.sim.post(0.0, self._deliver, spec)
 
     def _activate(self, spec: FaultSpec) -> None:
         """Activation event for a triggered spec (scheduled at install)."""

@@ -205,7 +205,7 @@ class FleetController:
                 priority=priority,
             )
         if state.dead:
-            self.sim.schedule(0.0, self._fail, ticket, "node dead")
+            self.sim.post(0.0, self._fail, ticket, "node dead")
             return ticket
         state.queue.append(ticket)
         self._update_depth(state)
@@ -217,7 +217,7 @@ class FleetController:
             and holder.revoke_reason is None
         ):
             self._revoke(holder, f"preempted by {slice_name}", preemption=True)
-        self.sim.schedule(0.0, self._pump, state)
+        self.sim.post(0.0, self._pump, state)
         return ticket
 
     def release(self, ticket: LeaseTicket) -> None:
@@ -250,7 +250,7 @@ class FleetController:
             ticket._span = None
         if state.holder is ticket:
             state.holder = None
-        self.sim.schedule(0.0, self._pump, state)
+        self.sim.post(0.0, self._pump, state)
 
     def kill_node(self, name: str, reason: str = "node killed") -> None:
         """A node dies: drop its call, revoke the holder, drain the queue.
@@ -357,7 +357,7 @@ class FleetController:
                 slice=ticket.slice_name,
                 reason=reason,
             )
-        self.sim.schedule(0.0, ticket.revoked.fire, reason)
+        self.sim.post(0.0, ticket.revoked.fire, reason)
 
     def _fail(self, ticket: LeaseTicket, reason: str) -> None:
         if ticket.state not in ("queued",):

@@ -21,10 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
-#: Hard cap on nodes per group: the per-node /24s are carved out of
-#: 10.64.0.0/10 below and must stay clear of the operators' mobile
-#: pools (10.199.0.0/16 commercial, 10.201.0.0/16 micro-cell).
-MAX_GROUP_SIZE = 64
+#: Hard cap on nodes per group: the shared-kernel engine batches a
+#: whole group's TTI-aligned events through one bucket walk, so a
+#: single simulation comfortably interleaves hundreds of datacalls.
+#: The per-node /24s are carved out of 10.64.0.0/10 below (second
+#: octets 64-191, then the 10.202/16 and 10.203/16 third-octet
+#: ranges) and stay clear of the operators' mobile pools
+#: (10.199.0.0/16 commercial, 10.201.0.0/16 micro-cell).
+MAX_GROUP_SIZE = 512
 
 #: Workloads a fleet campaign can schedule on its node-pairs.
 FLEET_KINDS = ("voip", "cbr")
@@ -163,8 +167,11 @@ class FleetSpec:
         """The nodes of one group, with deterministic names/addresses.
 
         Addressing is *per group* (each group is its own simulation, so
-        the same /24s recur in every group): node ``i`` lives in
-        ``10.(64+i).0.0/24`` — clear of both operator mobile pools.
+        the same /24s recur in every group): node ``i < 128`` lives in
+        ``10.(64+i).0.0/24`` — the historic layout, unchanged — and the
+        fleet-scale tail ``i >= 128`` fills the ``10.202.(i-128).0/24``
+        then ``10.203.(i-384).0/24`` ranges, all clear of both operator
+        mobile pools.
         """
         sizes = self.group_sizes()
         if not 0 <= group_index < len(sizes):
@@ -180,11 +187,17 @@ class FleetSpec:
             scenario = ""
             if self.scenarios:
                 scenario = self.scenarios[(base + i) % len(self.scenarios)]
+            if i < 128:
+                subnet = f"10.{64 + i}.0"
+            elif i < 384:
+                subnet = f"10.202.{i - 128}"
+            else:
+                subnet = f"10.203.{i - 384}"
             specs.append(
                 NodeSpec(
                     name=f"fleet{group_index:04d}-n{i:02d}.onelab.eu",
-                    address=f"10.{64 + i}.0.100",
-                    gateway=f"10.{64 + i}.0.1",
+                    address=f"{subnet}.100",
+                    gateway=f"{subnet}.1",
                     scenario=scenario,
                 )
             )

@@ -93,13 +93,13 @@ class SerialPort:
                     self.delayed_items += 1
                     when = max(self.sim.now + delay, self._delivery_horizon)
                     self._delivery_horizon = when
-                    self.sim.schedule(when - self.sim.now, self._to_host.put, item)
+                    self.sim.post(when - self.sim.now, self._to_host.put, item)
                     return
         if self._delivery_horizon > self.sim.now:
             # A delayed line is still in flight: keep FIFO order by
             # routing this item through the scheduler behind it (the
             # engine's seq tiebreak preserves submission order).
-            self.sim.schedule(
+            self.sim.post(
                 self._delivery_horizon - self.sim.now, self._to_host.put, item
             )
             return

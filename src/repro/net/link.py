@@ -119,7 +119,7 @@ class Channel:
     def _begin_transmission(self, packet: Packet) -> None:
         self._busy = True
         serialization = self._length_of(packet) * 8.0 / self.rate_bps
-        self._sim.schedule(serialization, self._transmission_done, packet)
+        self._sim.post(serialization, self._transmission_done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
         self.tx_packets += 1
@@ -144,7 +144,7 @@ class Channel:
         if arrival < self._last_delivery_time:
             arrival = self._last_delivery_time
         self._last_delivery_time = arrival
-        self._sim.schedule_at(arrival, self._deliver, packet)
+        self._sim.post_at(arrival, self._deliver, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

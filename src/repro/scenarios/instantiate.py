@@ -151,9 +151,9 @@ class GrammarHarness:
         self._armed = True
         sim = self.testbed.sim
         for at, target in self.spec.ladder.moves:
-            sim.schedule(max(0.0, at - sim.now), self._apply_move, target)
+            sim.post(max(0.0, at - sim.now), self._apply_move, target)
         for at, csq, cell in self._handover_cells:
-            sim.schedule(max(0.0, at - sim.now), self._apply_handover, cell, csq)
+            sim.post(max(0.0, at - sim.now), self._apply_handover, cell, csq)
 
     def _live_rab(self):
         calls = self.serving.calls

@@ -1,74 +1,117 @@
-"""The discrete-event engine.
+"""The discrete-event engine: a shared kernel for fleet-scale groups.
 
-A :class:`Simulator` owns a virtual clock and a priority queue of
-:class:`Event` objects.  Components schedule callbacks with
-:meth:`Simulator.schedule` (relative delay) or
-:meth:`Simulator.schedule_at` (absolute time) and the main loop
+A :class:`Simulator` owns a virtual clock and a time-bucketed event
+store.  Components schedule callbacks with :meth:`Simulator.schedule`
+(relative delay), :meth:`Simulator.schedule_at` (absolute time) or
+:meth:`Simulator.post` (fire-and-forget, no handle) and the main loop
 dispatches them in timestamp order.  Ties are broken by insertion
 order, which keeps runs bit-for-bit deterministic.
 
-The heap stores ``(time, seq, event)`` tuples rather than bare
-:class:`Event` objects so that every heap sift compares tuples in C
-instead of calling a Python-level ``__lt__`` — the single largest cost
-in the dispatch loop.  ``seq`` is unique, so two entries never compare
-beyond the first two fields and the :class:`Event` objects themselves
-are never compared.
+Storage is bucketed rather than heap-of-objects: the heap orders bare
+``float`` timestamps (so every sift compares machine floats in C, the
+cheapest possible key), and a dict maps each distinct pending
+timestamp to a flat ``[callback, args, callback, args, ...]`` *bucket*
+holding that instant's events in insertion order.  A whole bucket is
+dispatched per heap pop — at fleet scale, where hundreds of nodes
+share TTI-aligned radio instants, that amortises the heap to a few
+hundred pops per simulated second no matter how many datacalls ride
+the kernel.
+
+Cancellation tombstones the bucket cell in place: an :class:`Event`
+handle captures the bucket list and the index its callback occupies,
+and :meth:`Event.cancel` overwrites both cells with ``None`` —
+dropping the callback/argument references immediately — and decrements
+the O(1) live-event census (:attr:`Simulator.pending_count`, the
+``engine.queue_depth`` gauge).  The dispatch loop likewise overwrites
+each callback cell as it fires, so a cancel that lands after the event
+ran is a natural no-op, a cancelled cell is skipped by one ``is None``
+test, and nothing cancelled ever reaches — or lingers in — the heap:
+the classic lazy-deletion pile of dead heap entries cannot form.
 
 :meth:`Simulator.run` has two loops.  The **fast path** runs when
 ``trace``, ``metrics``, ``profile`` and ``on_dispatch`` are all
-``None`` (the
-observability layer's no-sink contract): no ``time.perf_counter``
-pair, no histogram update, no per-event ``peek``/``step`` method-call
-round-trip.  Attaching instrumentation *mid-run* from inside a
-callback takes effect on the next :meth:`run` call; attach it before
-running (as :class:`repro.obs.Observability` does) for per-event
-coverage.  Both loops dispatch events in exactly the same order, so
-instrumented and uninstrumented runs are bit-for-bit identical.
+``None`` (the observability layer's no-sink contract): no
+``time.perf_counter`` pair, no histogram update.  The instrumented
+loop is the *same* single-scan batch loop — the historic
+``peek()``/``step()`` double scan is gone — with per-event
+instrumentation on top: metric handles are resolved once per registry
+(not per event), and profiler attribution happens through interned
+event-type ids (one hash of the callback on first sight, list indexing
+afterwards) instead of hashing callback objects on every dispatch.
+Both loops dispatch events in exactly the same order, so instrumented
+and uninstrumented runs are bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.errors import ScheduleInPastError
 
 #: Histogram edges for per-event wall-clock dispatch cost (seconds).
 DISPATCH_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1)
 
+# Module-level aliases: the schedulers run once per event, where even a
+# ``heapq.``-attribute load shows up at fleet volume.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for one scheduled callback.
 
     Events are created by the simulator; user code holds them only to
-    :meth:`cancel` them.  A cancelled event stays in the heap but is
-    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    :meth:`cancel` them.  The handle captures the bucket list and the
+    index its callback occupies: cancelling tombstones both cells to
+    ``None`` in O(1), dropping the callback/argument references on the
+    spot, and dispatch skips the dead cell with one ``is None`` test.
+    The dispatch loop tombstones the callback cell as it fires too, so
+    a handle whose event already ran cancels as a harmless no-op —
+    there is no recycled storage a stale handle could alias.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_sim", "_bucket", "_idx")
 
-    def __init__(
-        self, time: float, seq: int, callback: Callable[..., Any], args: Tuple[Any, ...]
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    def __init__(self, sim: "Simulator", bucket: List[Any], idx: int) -> None:
+        self._sim = sim
+        self._bucket = bucket
+        self._idx = idx
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the event from firing.  Idempotent; a cancel that
+        lands after the event already fired is a harmless no-op."""
+        bucket = self._bucket
+        idx = self._idx
+        if bucket[idx] is not None:
+            bucket[idx] = None
+            bucket[idx + 1] = None
+            self._sim._live -= 1
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still scheduled (not fired, not cancelled)."""
+        return self._bucket[self._idx] is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+        state = "pending" if self.pending else "done"
+        return f"<Event idx={self._idx} {state}>"
+
+
+class _DispatchRecord:
+    """An Event-shaped view of one dispatch, for ``on_dispatch`` hooks
+    and legacy profiler ``record(event, ...)`` implementations."""
+
+    __slots__ = ("time", "callback", "args")
+
+    def __init__(
+        self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
 
 
 class Simulator:
@@ -87,8 +130,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        #: heap of pending timestamps (bare floats; may hold a
+        #: duplicate when a bucket is re-created at the active instant).
+        self._times: List[float] = []
+        #: distinct timestamp -> flat ``[callback, args, ...]`` bucket in
+        #: insertion order; cancelled/fired cells are tombstoned ``None``.
+        self._buckets: Dict[float, List[Any]] = {}
+        #: O(1) census of scheduled, not-yet-fired, not-cancelled events.
+        self._live = 0
+        #: a partially dispatched batch left by ``stop()``:
+        #: ``(time, bucket, resume_index)``.
+        self._active: Optional[Tuple[float, List[Any], int]] = None
         self._running = False
         self._stopped = False
         #: optional :class:`~repro.obs.TraceBus`; components check this
@@ -97,7 +149,7 @@ class Simulator:
         #: optional :class:`~repro.obs.MetricsRegistry` (same contract).
         self.metrics: Optional[Any] = None
         #: optional ``callback(event, wall_seconds)`` run after each dispatch.
-        self.on_dispatch: Optional[Callable[[Event, float], None]] = None
+        self.on_dispatch: Optional[Callable[[Any, float], None]] = None
         #: optional :class:`~repro.obs.SimProfiler` fed once per dispatch
         #: (same zero-cost-when-``None`` contract as ``metrics``).
         self.profile: Optional[Any] = None
@@ -105,11 +157,28 @@ class Simulator:
         #: points check this before consulting fault plans, so ``None``
         #: keeps unfaulted runs bit-identical.
         self.faults: Optional[Any] = None
+        # Per-registry / per-profiler instrumentation caches: metric
+        # handles are resolved once per attached registry, and event
+        # types are interned once per callback per attached profiler.
+        self._metrics_src: Optional[Any] = None
+        self._m_dispatched: Any = None
+        self._m_wall: Any = None
+        self._m_depth: Any = None
+        self._prof_src: Optional[Any] = None
+        self._prof_intern: Dict[Any, int] = {}
+        self._prof_legacy = False
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    # -- scheduling --------------------------------------------------------
+    #
+    # The bucket-insert sequence is spelled out inline in all four
+    # entry points: one Python call frame per scheduled event is
+    # measurable at fleet volume, and these four bodies are the only
+    # copies.
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -120,15 +189,24 @@ class Simulator:
         if not delay >= 0:  # rejects negatives and NaN in one comparison
             raise ScheduleInPastError(f"negative delay {delay!r}")
         when = self._now + delay
-        event = Event(when, seq := next(self._seq), callback, args)
-        heapq.heappush(self._heap, (when, seq, event))
-        return event
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = [callback, args]
+            self._buckets[when] = bucket
+            _heappush(self._times, when)
+            idx = 0
+        else:
+            idx = len(bucket)
+            bucket.append(callback)
+            bucket.append(args)
+        self._live += 1
+        return Event(self, bucket, idx)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at the absolute time ``time``.
 
         A time earlier than the clock — or NaN, which would silently
-        corrupt the heap ordering — raises :class:`ScheduleInPastError`.
+        corrupt the queue ordering — raises :class:`ScheduleInPastError`.
         """
         if not time >= self._now:
             if math.isnan(time):
@@ -136,56 +214,177 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule at {time!r}; clock already at {self._now!r}"
             )
-        event = Event(time, seq := next(self._seq), callback, args)
-        heapq.heappush(self._heap, (time, seq, event))
-        return event
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            bucket = [callback, args]
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+            idx = 0
+        else:
+            idx = len(bucket)
+            bucket.append(callback)
+            bucket.append(args)
+        self._live += 1
+        return Event(self, bucket, idx)
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle.
+
+        The hot-path variant for call sites that never cancel — signal
+        fan-out, store hand-offs, process resumes — saving one handle
+        allocation per event.  Semantics are otherwise identical to
+        :meth:`schedule`, including the dispatch-order tie-break.
+        """
+        if not delay >= 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [callback, args]
+            _heappush(self._times, when)
+        else:
+            bucket.append(callback)
+            bucket.append(args)
+        self._live += 1
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`Event` handle.
+
+        The absolute-time twin of :meth:`post`, for grid-aligned work
+        (TTI deliveries, frame boundaries) whose timestamps must be
+        computed once and shared exactly across many schedulers rather
+        than re-derived through ``now + delay`` float arithmetic.
+        """
+        if not time >= self._now:
+            if math.isnan(time):
+                raise ScheduleInPastError(f"cannot schedule at NaN time {time!r}")
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}; clock already at {self._now!r}"
+            )
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [callback, args]
+            _heappush(self._times, time)
+        else:
+            bucket.append(callback)
+            bucket.append(args)
+        self._live += 1
 
     def stop(self) -> None:
         """Make :meth:`run` return after the event being dispatched."""
         self._stopped = True
 
+    # -- introspection -----------------------------------------------------
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        return heap[0][0]
+        active = self._active
+        if active is not None:
+            when, bucket, i = active
+            n = len(bucket)
+            while i < n:
+                if bucket[i] is not None:
+                    return when
+                i += 2
+            self._active = None  # every remaining entry was cancelled
+        times = self._times
+        buckets = self._buckets
+        while times:
+            head = times[0]
+            bucket = buckets.get(head)
+            if bucket is None:  # duplicate timestamp, bucket already taken
+                _heappop(times)
+                continue
+            for i in range(0, len(bucket), 2):
+                if bucket[i] is not None:
+                    return head
+            _heappop(times)  # all-stale bucket: drop it whole
+            del buckets[head]
+        return None
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
+
+    # -- dispatch ----------------------------------------------------------
 
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` if none remained."""
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            when, _seq, event = pop(heap)
-            if event.cancelled:
-                continue
-            self._now = when
-            if self.metrics is None and self.on_dispatch is None and self.profile is None:
-                event.callback(*event.args)
-            else:
-                self._dispatch_instrumented(event)
-            return True
-        return False
+        while True:
+            active = self._active
+            if active is not None:
+                when, bucket, i = active
+                n = len(bucket)
+                while i < n:
+                    cb = bucket[i]
+                    args = bucket[i + 1]
+                    i += 2
+                    if cb is None:  # cancelled: tombstoned cell
+                        continue
+                    bucket[i - 2] = None  # fired: a late cancel is a no-op
+                    self._active = (when, bucket, i) if i < n else None
+                    self._fire(when, cb, args)
+                    return True
+                self._active = None
+            times = self._times
+            if not times:
+                return False
+            when = _heappop(times)
+            bucket = self._buckets.pop(when, None)
+            if bucket is not None:
+                self._active = (when, bucket, 0)
 
-    def _dispatch_instrumented(self, event: Event) -> None:
+    def _fire(self, when: float, cb: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        """Fire one live event (shared by :meth:`step`'s single-step path)."""
+        self._now = when
+        self._live -= 1
+        if self.metrics is None and self.on_dispatch is None and self.profile is None:
+            cb(*args)
+        else:
+            self._dispatch_instrumented(cb, args)
+
+    def _dispatch_instrumented(
+        self, cb: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
         """Dispatch one event under timing/metrics instrumentation."""
         start = time.perf_counter()
-        event.callback(*event.args)
+        cb(*args)
         elapsed = time.perf_counter() - start
         metrics = self.metrics
         if metrics is not None:
-            metrics.counter("engine.events_dispatched").inc()
-            metrics.histogram("engine.dispatch_wall_seconds", DISPATCH_BUCKETS).observe(
-                elapsed
-            )
-            metrics.gauge("engine.queue_depth").set(len(self._heap))
+            if metrics is not self._metrics_src:
+                self._metrics_src = metrics
+                self._m_dispatched = metrics.counter("engine.events_dispatched")
+                self._m_wall = metrics.histogram(
+                    "engine.dispatch_wall_seconds", DISPATCH_BUCKETS
+                )
+                self._m_depth = metrics.gauge("engine.queue_depth")
+            self._m_dispatched.inc()
+            self._m_wall.observe(elapsed)
+            self._m_depth.set(self._live)
         profile = self.profile
         if profile is not None:
-            profile.record(event, self._now, elapsed)
+            if profile is not self._prof_src:
+                self._prof_src = profile
+                self._prof_intern = {}
+                self._prof_legacy = not hasattr(profile, "record_typed")
+            if self._prof_legacy:
+                profile.record(_DispatchRecord(self._now, cb, args), self._now, elapsed)
+            else:
+                intern = self._prof_intern
+                try:
+                    tid: Optional[int] = intern.get(cb)
+                except TypeError:  # unhashable callback: re-register (rare)
+                    tid = None
+                else:
+                    if tid is None:
+                        tid = profile.register_type(cb)
+                        intern[cb] = tid
+                if tid is None:
+                    tid = profile.register_type(cb)
+                profile.record_typed(tid, self._now, elapsed)
         if self.on_dispatch is not None:
-            self.on_dispatch(event, elapsed)
+            self.on_dispatch(_DispatchRecord(self._now, cb, args), elapsed)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the event loop.
@@ -218,34 +417,104 @@ class Simulator:
         return self._now
 
     def _run_fast(self, until: Optional[float]) -> None:
-        """Uninstrumented loop: locals hoisted, one heap pop per event."""
-        heap = self._heap
-        pop = heapq.heappop
+        """Uninstrumented loop: locals hoisted, one heap pop per *batch*."""
         if until is None:
             until = math.inf
-        while heap and not self._stopped:
-            head = heap[0]
-            event = head[2]
-            if event.cancelled:
-                pop(heap)
-                continue
-            when = head[0]
-            if when > until:
-                break
-            pop(heap)
-            self._now = when
-            event.callback(*event.args)
+        times = self._times
+        buckets = self._buckets
+        pop = _heappop
+        while not self._stopped:
+            active = self._active
+            if active is not None:
+                when, bucket, i = active
+                if when > until:
+                    return
+                self._active = None
+            else:
+                if not times:
+                    return
+                when = times[0]
+                if when > until:
+                    return
+                pop(times)
+                maybe = buckets.pop(when, None)
+                if maybe is None:  # duplicate timestamp, already dispatched
+                    continue
+                bucket = maybe
+                i = 0
+            n = len(bucket)
+            while i < n:
+                cb = bucket[i]
+                if cb is None:  # cancelled: tombstoned cell
+                    i += 2
+                    continue
+                args = bucket[i + 1]
+                bucket[i] = None  # fired: a late cancel is a no-op
+                i += 2
+                self._live -= 1
+                # The clock moves only when something actually
+                # fires: an all-cancelled bucket must not advance it.
+                self._now = when
+                cb(*args)
+                if self._stopped:
+                    if i < n:
+                        self._active = (when, bucket, i)
+                    return
 
     def _run_instrumented(self, until: Optional[float]) -> None:
-        """Original peek/step loop, used whenever instrumentation is attached."""
-        while not self._stopped:
-            next_time = self.peek()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            self.step()
+        """The same single-scan batch loop, with per-event instrumentation.
 
-    def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued (O(n))."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        Mirrors :meth:`_run_fast` exactly (same batch walk, same
+        generation checks) so dispatch order cannot diverge; the only
+        additions are the per-event timing/metrics/profile calls, and a
+        per-event sink check so instrumentation attached mid-run by a
+        callback takes effect immediately (matching the historic
+        ``peek``/``step`` loop's behaviour).
+        """
+        if until is None:
+            until = math.inf
+        times = self._times
+        buckets = self._buckets
+        pop = _heappop
+        while not self._stopped:
+            active = self._active
+            if active is not None:
+                when, bucket, i = active
+                if when > until:
+                    return
+                self._active = None
+            else:
+                if not times:
+                    return
+                when = times[0]
+                if when > until:
+                    return
+                pop(times)
+                maybe = buckets.pop(when, None)
+                if maybe is None:
+                    continue
+                bucket = maybe
+                i = 0
+            n = len(bucket)
+            while i < n:
+                cb = bucket[i]
+                if cb is None:  # cancelled: tombstoned cell
+                    i += 2
+                    continue
+                args = bucket[i + 1]
+                bucket[i] = None  # fired: a late cancel is a no-op
+                i += 2
+                self._live -= 1
+                self._now = when
+                if (
+                    self.metrics is None
+                    and self.on_dispatch is None
+                    and self.profile is None
+                ):
+                    cb(*args)
+                else:
+                    self._dispatch_instrumented(cb, args)
+                if self._stopped:
+                    if i < n:
+                        self._active = (when, bucket, i)
+                    return

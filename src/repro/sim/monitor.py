@@ -126,8 +126,9 @@ class TimeSeries:
         if end is None:
             end = self.times[-1] + window if self.times else start
         agg = StreamingWindows(window, mode=mode, start=start, end=end)
-        for t, v in zip(self.times, self.values):
-            agg.add(t, v)
+        # The series already holds parallel columns: one bulk call
+        # replaces a per-sample add() loop on the hot analysis path.
+        agg.add_many(self.times, self.values)
         times, values = agg.finish()
         out = TimeSeries(self.name)
         out.times = times

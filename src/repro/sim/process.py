@@ -89,7 +89,7 @@ class Signal:
         self.last_value = value
         waiters, self._waiters = self._waiters, []
         for callback in waiters:
-            self._sim.schedule(0.0, callback, value)
+            self._sim.post(0.0, callback, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Signal {self.name!r} waiters={len(self._waiters)} fires={self.fire_count}>"
@@ -124,7 +124,7 @@ class Store:
         """Append an item, waking the oldest blocked getter if any."""
         if self._getters:
             getter = self._getters.popleft()
-            self._sim.schedule(0.0, getter, item)
+            self._sim.post(0.0, getter, item)
         else:
             self._items.append(item)
 
@@ -154,7 +154,7 @@ class Store:
     def _register_getter(self, callback: Callable[[Any], None]) -> None:
         if self._items:
             item = self._items.popleft()
-            self._sim.schedule(0.0, callback, item)
+            self._sim.post(0.0, callback, item)
         else:
             self._getters.append(callback)
 
@@ -179,14 +179,14 @@ class Process:
         self._signal_callback: Optional[Callable[[Any], None]] = None
         self._waiting_store: Optional[Store] = None
         self._store_callback: Optional[Callable[[Any], None]] = None
-        self._sim.schedule(0.0, self._resume, None)
+        self._sim.post(0.0, self._resume, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Raise :class:`Interrupt` inside the process at its yield point."""
         if not self.alive:
             return
         self._detach()
-        self._sim.schedule(0.0, self._throw, Interrupt(cause))
+        self._sim.post(0.0, self._throw, Interrupt(cause))
 
     def _detach(self) -> None:
         """Forget whatever the process was waiting on.

@@ -132,7 +132,7 @@ class SliceBandwidthLimiter:
             return
         self._draining[xid] = True
         wait = self._bucket(xid).time_until(queue[0].length)
-        self.sim.schedule(max(wait, 1e-9), self._drain_one, xid)
+        self.sim.post(max(wait, 1e-9), self._drain_one, xid)
 
     def _drain_one(self, xid: int) -> None:
         queue = self._queues[xid]

@@ -35,6 +35,30 @@ def test_node_specs_are_deterministic_and_disjoint_from_mobile_pools():
     assert len({n.address for n in specs}) == len(specs)
 
 
+def test_fleet_scale_group_addressing_is_disjoint_and_stable():
+    """A full 512-node shared-kernel group: unique subnets, pools clear."""
+    spec = FleetSpec(nodes=512, group_size=512)
+    specs = spec.node_specs(0)
+    assert len(specs) == 512
+    # The historic second-octet layout is unchanged for i < 128 (the
+    # 64-node pins 10.64.0.100 / 10.127.0.100 still hold).
+    assert specs[0].address == "10.64.0.100"
+    assert specs[63].address == "10.127.0.100"
+    assert specs[127].address == "10.191.0.100"
+    # The fleet-scale tail fills 10.202/16 then 10.203/16.
+    assert specs[128].address == "10.202.0.100"
+    assert specs[383].address == "10.202.255.100"
+    assert specs[384].address == "10.203.0.100"
+    assert specs[511].address == "10.203.127.100"
+    assert specs[511].gateway == "10.203.127.1"
+    # Every /24 is distinct and clear of both operator mobile pools.
+    subnets = {tuple(n.address.split(".")[:3]) for n in specs}
+    assert len(subnets) == 512
+    for octets in subnets:
+        assert octets[:2] not in {("10", "199"), ("10", "201")}
+    assert len({n.name for n in specs}) == 512
+
+
 def test_pair_count_leftover_node_idles():
     spec = FleetSpec(nodes=5, group_size=8)
     assert spec.pair_count(0) == 2
@@ -61,7 +85,7 @@ def test_validation_errors():
     with pytest.raises(FleetSpecError):
         FleetSpec(nodes=4, group_size=1)
     with pytest.raises(FleetSpecError):
-        FleetSpec(nodes=4, group_size=65)
+        FleetSpec(nodes=4, group_size=513)
     with pytest.raises(FleetSpecError):
         FleetSpec(nodes=4, kind="ftp")
     with pytest.raises(FleetSpecError):

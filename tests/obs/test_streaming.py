@@ -9,6 +9,7 @@ not approximate agreement.
 import math
 import random
 import statistics
+from array import array
 
 import pytest
 
@@ -159,6 +160,88 @@ class TestStreamingStats:
         assert snapshot["count"] == 0
         assert math.isnan(snapshot["mean"])
         assert math.isnan(snapshot["min"])
+
+
+class TestBulkIngest:
+    """``add_many``/``observe_many`` are bit-identical to the unit calls."""
+
+    @pytest.mark.parametrize("mode", WINDOW_MODES)
+    def test_add_many_matches_add_bitwise(self, mode):
+        series = _series(seed=31)
+        end = series.times[-1] + QOS_WINDOW
+        one = StreamingWindows(QOS_WINDOW, mode=mode, end=end)
+        for t, v in series.as_pairs():
+            one.add(t, v)
+        bulk = StreamingWindows(QOS_WINDOW, mode=mode, end=end)
+        bulk.add_many(array("d", series.times), array("d", series.values))
+        one_times, one_values = one.finish()
+        bulk_times, bulk_values = bulk.finish()
+        assert bulk_times == one_times
+        _values_equal(bulk_values, one_values)
+
+    def test_chunk_boundaries_do_not_matter(self):
+        series = _series(seed=13)
+        end = series.times[-1] + QOS_WINDOW
+        whole = StreamingWindows(QOS_WINDOW, end=end)
+        whole.add_many(series.times, series.values)
+        chunked = StreamingWindows(QOS_WINDOW, end=end)
+        for lo in range(0, len(series), 7):
+            hi = lo + 7
+            chunked.add_many(series.times[lo:hi], series.values[lo:hi])
+        assert whole.finish()[0] == chunked.finish()[0]
+        _values_equal(whole.finish()[1], chunked.finish()[1])
+
+    def test_out_of_order_batch_fails_like_add_and_leaves_same_state(self):
+        def build():
+            agg = StreamingWindows(1.0, mode="sum", end=5.0)
+            agg.add(2.5, 1.0)
+            return agg
+
+        bulk = build()
+        with pytest.raises(ValueError, match="already closed"):
+            bulk.add_many([3.1, 0.5], [1.0, 1.0])
+        unit = build()
+        unit.add(3.1, 1.0)
+        with pytest.raises(ValueError, match="already closed"):
+            unit.add(0.5, 1.0)
+        # Both paths folded the in-order prefix and then refused; the
+        # aggregators stay usable and agree from here on.
+        bulk.add(4.5, 2.0)
+        unit.add(4.5, 2.0)
+        assert bulk.finish() == unit.finish()
+
+    def test_add_many_after_finish_raises(self):
+        agg = StreamingWindows(1.0)
+        agg.finish()
+        with pytest.raises(ValueError, match="finished"):
+            agg.add_many([0.5], [1.0])
+
+    def test_observe_many_matches_observe_bitwise(self):
+        rng = random.Random(29)
+        samples = [rng.uniform(-3.0, 9.0) for _ in range(1000)]
+        samples[100] = math.nan  # skipped in both paths
+        one = StreamingStats()
+        for value in samples:
+            one.observe(value)
+        bulk = StreamingStats()
+        bulk.observe_many(array("d", samples[:400]))
+        bulk.observe_many(samples[400:])
+        assert bulk.count == one.count
+        assert bulk.total == one.total
+        assert bulk.mean == one.mean
+        assert bulk.stdev == one.stdev
+        assert bulk.minimum == one.minimum
+        assert bulk.maximum == one.maximum
+
+    def test_sketch_observe_many_matches_observe(self):
+        rng = random.Random(41)
+        samples = [rng.uniform(0.0, 1.0) for _ in range(2000)]
+        one = QuantileSketch(quantiles=(0.5, 0.9))
+        for value in samples:
+            one.observe(value)
+        bulk = QuantileSketch(quantiles=(0.5, 0.9))
+        bulk.observe_many(samples)
+        assert bulk.as_dict() == one.as_dict()
 
 
 class TestP2Quantile:
